@@ -1,0 +1,35 @@
+"""Ablation benchmarks A1-A3 (see repro.experiments.ablation).
+
+Run with: ``pytest benchmarks/bench_ablations.py --benchmark-only -s``
+"""
+
+from repro.experiments import ablation
+
+
+def test_a1_tree_router_substrate(once):
+    result = once(ablation.run_tree_router, epsilon=0.5, pair_count=150)
+    by_graph = {}
+    for row in result.rows:
+        by_graph.setdefault(row[0], []).append(row)
+    for rows in by_graph.values():
+        interval, heavy = rows
+        # Identical stretch: both substrates route optimally on trees.
+        assert interval[2] == heavy[2]
+        # Heavy-path labels cost header bits; intervals cost none extra.
+        assert heavy[4] >= interval[4]
+
+
+def test_a2_ring_restriction_savings_grow_with_delta(once):
+    result = once(ablation.run_ring_restriction, epsilon=0.5)
+    factors = [row[4] for row in result.rows]
+    assert factors == sorted(factors)
+    assert factors[-1] >= 2.0
+
+
+def test_a3_packing_service(once):
+    result = once(ablation.run_packing_service)
+    for row in result.rows:
+        # Most levels are served by packed balls...
+        assert row[3] >= 0.5
+        # ...within Claim 3.9's per-node budget.
+        assert row[4] <= 4 * 6  # 4 log2(49) rounded up

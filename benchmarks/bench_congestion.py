@@ -1,0 +1,21 @@
+"""E11 — traffic simulation of the schemes under load.
+
+Run with: ``pytest benchmarks/bench_congestion.py --benchmark-only -s``
+"""
+
+from repro.experiments import congestion
+
+
+def test_congestion_under_poisson_load(once):
+    result = once(congestion.run, packet_count=200)
+    by_graph = {}
+    for row in result.rows:
+        by_graph.setdefault(row[0], {})[row[1]] = row
+    for rows in by_graph.values():
+        base = rows["baseline"]
+        for label in ("Theorem 1.4", "Theorem 1.1"):
+            row = rows[label]
+            # Compact routing inflates traffic (the stretch, aggregated)
+            assert row[5] >= base[5]
+            # ...and concentrates load (hot search-tree links).
+            assert row[6] >= 1.0

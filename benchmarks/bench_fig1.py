@@ -1,0 +1,21 @@
+"""E3 — regenerate Figure 1 (name-independent route anatomy).
+
+Run with: ``pytest benchmarks/bench_fig1.py --benchmark-only -s``
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_simple_scheme_anatomy(once):
+    result = once(fig1.run, epsilon=0.5, pair_count=150)
+    for row in result.rows:
+        # Shares are a partition of the route cost.
+        assert abs(row[2] + row[3] + row[4] - 1.0) < 0.01
+        # Lemma 3.4: the search phase dominates on average.
+        assert row[3] >= row[2]
+
+
+def test_fig1_scalefree_scheme_anatomy(once):
+    result = once(fig1.run_scalefree, epsilon=0.5, pair_count=150)
+    for row in result.rows:
+        assert abs(row[2] + row[3] + row[4] - 1.0) < 0.01

@@ -1,0 +1,16 @@
+"""E4 — regenerate Figure 2 (labeled route anatomy).
+
+Run with: ``pytest benchmarks/bench_fig2.py --benchmark-only -s``
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2_labeled_anatomy(once):
+    result = once(fig2.run, epsilon=0.5, pair_count=150)
+    for row in result.rows:
+        assert abs(row[1] + row[2] + row[3] + row[4] - 1.0) < 0.01
+        # Lemma 4.5 must hold: no defensive escalations.
+        assert row[8] == 0
+        # Lemma 4.7: stretch within 1 + O(eps).
+        assert row[6] <= 1 + 8 * 0.5

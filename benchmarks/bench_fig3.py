@@ -1,0 +1,36 @@
+"""E5 — Figure 3 + Theorem 1.3: lower-bound tree and counting audit.
+
+Run with: ``pytest benchmarks/bench_fig3.py --benchmark-only -s``
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3_tree_construction(once):
+    result = once(fig3.run_construction, epsilons=[4.0, 6.0], n=600)
+    for row in result.rows:
+        # |V| = n exactly; Delta within the O(2^{1/eps} n) bound.
+        assert float(row[4]) <= float(row[5]) + 1e-9
+        # Greedy doubling estimate near the Lemma 5.8 bound (+1 slack).
+        assert row[6] <= row[7] + 1.0
+
+
+def test_fig3_counting_audit(once):
+    result = once(fig3.run_counting, epsilons=[1.0, 2.0, 4.0, 6.0])
+    for row in result.rows:
+        assert row[4] is True  # Claim 5.10 base case
+        assert row[7] is True  # Claim 5.11
+
+
+def test_fig3_empirical_adversary(once):
+    result = once(
+        fig3.run_adversary,
+        epsilon=6.0,
+        n=256,
+        namings=3,
+        routes_per_naming=15,
+    )
+    worst = result.rows[-1][2]
+    # The squeeze: observed stretch sits between 1 and the 9 + O(eps)
+    # guarantee of Theorem 1.4.
+    assert 1.0 <= worst <= 9 + 8 * 0.5

@@ -1,0 +1,55 @@
+"""E10 — exact evaluation of the Claims 5.9-5.11 arithmetic over a grid
+of epsilon values, plus preprocessing-time benchmarks of the
+counterexample construction.
+
+Run with: ``pytest benchmarks/bench_lowerbound.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.lowerbound.counting import (
+    averaging_bound,
+    congruent_naming_log_count,
+    lower_bound_parameters,
+    verify_claim_5_10_base,
+    verify_claim_5_11,
+)
+from repro.lowerbound.tree import lower_bound_tree
+
+
+def test_claims_over_epsilon_grid(once):
+    def audit():
+        checked = 0
+        for k in range(1, 78):
+            eps = k / 10.0
+            params = lower_bound_parameters(eps)
+            assert params.stretch == pytest.approx(9.0 - eps)
+            assert verify_claim_5_10_base(eps)
+            assert verify_claim_5_11(eps)
+            m = params.p // 2
+            assert averaging_bound(m) > 4.0 - eps / 4.0
+            checked += 1
+        return checked
+
+    assert once(audit) == 77
+
+
+def test_congruent_naming_counts(once):
+    def audit():
+        n = 1 << 16
+        worst_gap = float("inf")
+        for c in (8, 64, 192):
+            beta = 0.5 * n ** (1.0 / c)  # below the o(n^{1/c}) threshold
+            for i in range(c + 1):
+                log_count = congruent_naming_log_count(n, beta, i, c)
+                worst_gap = min(worst_gap, log_count)
+        return worst_gap
+
+    # Even the most-constrained congruent family stays astronomically
+    # large (Lemma 5.4's pigeonhole): log2 |L_c| >> 0.
+    assert once(audit) > 0
+
+
+def test_tree_construction_benchmark(once):
+    tree = once(lower_bound_tree, 6.0, 1024)
+    assert tree.n == 1024

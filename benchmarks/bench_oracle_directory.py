@@ -1,0 +1,48 @@
+"""Companion systems: distance-oracle quality and directory locality.
+
+Run with: ``pytest benchmarks/bench_oracle_directory.py --benchmark-only -s``
+"""
+
+from repro.core.params import SchemeParameters
+from repro.directory.object_directory import ObjectDirectory
+from repro.experiments.harness import sample_pairs
+from repro.graphs.generators import grid_2d, random_geometric
+from repro.metric.graph_metric import GraphMetric
+from repro.oracle.distance_oracle import DistanceOracle
+
+PARAMS = SchemeParameters(epsilon=0.25)
+
+
+def test_distance_oracle_approximation(once):
+    def build_and_verify():
+        results = []
+        for graph in (grid_2d(8), random_geometric(64, seed=11)):
+            metric = GraphMetric(graph)
+            oracle = DistanceOracle(metric, PARAMS)
+            pairs = sample_pairs(metric, 300)
+            worst, mean = oracle.verify(pairs)
+            results.append((worst, mean, oracle.max_label_bits()))
+        return results
+
+    results = once(build_and_verify)
+    for worst, mean, label_bits in results:
+        assert worst <= 1.0 + 8.0 / (4.0 - 2.0) + 1e-9
+        assert mean <= 1.5
+        assert label_bits > 0
+
+
+def test_directory_locality_under_replication(once):
+    def build_and_measure():
+        metric = GraphMetric(grid_2d(7))
+        directory = ObjectDirectory(metric, PARAMS)
+        for holder in (0, 6, 42, 48, 24):
+            directory.publish("obj", holder)
+        worst = 0.0
+        for origin in metric.nodes:
+            result = directory.lookup(origin, "obj")
+            if result.nearest_copy_distance > 0:
+                worst = max(worst, result.locality_ratio)
+        return worst, directory.locality_guarantee()
+
+    worst, guarantee = once(build_and_measure)
+    assert worst <= guarantee * 1.05

@@ -1,0 +1,89 @@
+"""Preprocessing wall-clock benchmarks: scheme construction times.
+
+Unlike the experiment benches (one pedantic round around a whole
+table), these time the *builds* with real repetition statistics — the
+numbers to watch for performance regressions in the substrates
+(all-pairs Dijkstra, net hierarchy, ball packings, search trees).
+
+Run with: ``pytest benchmarks/bench_preprocessing.py --benchmark-only``
+"""
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.graphs.generators import grid_2d, random_geometric
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.hierarchy import NetHierarchy
+from repro.packing.ballpacking import BallPacking
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+PARAMS = SchemeParameters(epsilon=0.5)
+
+
+@pytest.fixture(scope="module")
+def grid12_graph():
+    return grid_2d(12)
+
+
+@pytest.fixture(scope="module")
+def grid12_metric(grid12_graph):
+    return GraphMetric(grid12_graph)
+
+
+def test_build_metric(benchmark, grid12_graph):
+    metric = benchmark(GraphMetric, grid12_graph)
+    assert metric.n == 144
+
+
+def test_build_hierarchy(benchmark, grid12_metric):
+    hierarchy = benchmark(NetHierarchy, grid12_metric)
+    assert hierarchy.net(0) == list(grid12_metric.nodes)
+
+
+def test_build_packing(benchmark, grid12_metric):
+    packing = benchmark(BallPacking, grid12_metric)
+    assert packing.top_level == grid12_metric.log_n
+
+
+def test_build_labeled_scalefree(benchmark, grid12_metric):
+    scheme = benchmark.pedantic(
+        ScaleFreeLabeledScheme,
+        args=(grid12_metric, PARAMS),
+        rounds=3,
+        iterations=1,
+    )
+    assert scheme.max_table_bits() > 0
+
+
+def test_build_nameind_simple(benchmark, grid12_metric):
+    scheme = benchmark.pedantic(
+        SimpleNameIndependentScheme,
+        args=(grid12_metric, PARAMS),
+        rounds=3,
+        iterations=1,
+    )
+    assert scheme.max_table_bits() > 0
+
+
+def test_build_nameind_scalefree(benchmark, grid12_metric):
+    scheme = benchmark.pedantic(
+        ScaleFreeNameIndependentScheme,
+        args=(grid12_metric, PARAMS),
+        rounds=3,
+        iterations=1,
+    )
+    assert scheme.max_table_bits() > 0
+
+
+def test_route_throughput_nameind(benchmark, grid12_metric):
+    scheme = ScaleFreeNameIndependentScheme(grid12_metric, PARAMS)
+    pairs = [(u, (u * 37 + 11) % grid12_metric.n) for u in range(100)]
+    pairs = [(u, v) for u, v in pairs if u != v]
+
+    def route_all():
+        return sum(scheme.route(u, v).stretch for u, v in pairs)
+
+    total = benchmark(route_all)
+    assert total >= len(pairs)

@@ -1,0 +1,15 @@
+"""Related-work comparison (paper §1.2): Cowen stretch-3 vs Theorem 1.2.
+
+Run with: ``pytest benchmarks/bench_related_work.py --benchmark-only -s``
+"""
+
+from repro.experiments import related_work
+
+
+def test_related_work_comparison(once):
+    result = once(related_work.run, epsilon=0.5, pair_count=250)
+    for row in result.rows:
+        if row[1] == "Cowen stretch-3":
+            assert row[2] <= 3.0 + 1e-9
+        else:
+            assert row[2] <= 1 + 8 * 0.5

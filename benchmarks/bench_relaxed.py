@@ -1,0 +1,17 @@
+"""E12 — relaxed-guarantee territory (the paper's open problem).
+
+Run with: ``pytest benchmarks/bench_relaxed.py --benchmark-only -s``
+"""
+
+from repro.experiments import relaxed
+
+
+def test_stretch_tail_is_thin(once):
+    result = once(relaxed.run, epsilon=0.5, pair_count=300)
+    for row in result.rows:
+        # Median stretch is far below the worst case...
+        assert row[2] <= row[4]
+        # ...and the worst case binds only a thin tail of pairs.
+        assert row[5] <= 0.35
+        # Storage is not concentrated on a few nodes beyond ~3x median.
+        assert row[7] <= 4 * row[6]

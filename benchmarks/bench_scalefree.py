@@ -1,0 +1,19 @@
+"""E6 — the scale-free ablation: storage vs log Delta at fixed n.
+
+Run with: ``pytest benchmarks/bench_scalefree.py --benchmark-only -s``
+"""
+
+from repro.experiments import scalefree
+
+
+def test_scalefree_storage_flat_vs_log_delta(once):
+    result = once(scalefree.run, n=20, bases=[1.5, 2.0, 4.0, 8.0])
+    first, last = result.rows[0], result.rows[-1]
+    # log Delta grows several-fold across the sweep...
+    assert last[1] >= 2 * first[1]
+    # ...the non-scale-free schemes pay for it...
+    assert last[2] > 1.5 * first[2]   # labeled non-SF
+    assert last[4] > 1.5 * first[4]   # name-ind non-SF (Thm 1.4)
+    # ...the scale-free schemes do not (Theorems 1.1, 1.2).
+    assert last[3] <= 2.0 * first[3]
+    assert last[5] <= 2.0 * first[5]

@@ -1,0 +1,21 @@
+"""E8 — storage scaling vs n (against log^3 n) for all schemes.
+
+Run with: ``pytest benchmarks/bench_storage_scaling.py --benchmark-only -s``
+"""
+
+import math
+
+from repro.experiments import sweeps
+
+
+def test_storage_scaling(once):
+    result = once(sweeps.run_storage_scaling, sizes=[32, 64, 128, 256])
+    rows = result.rows
+    # Storage grows with n but stays polylogarithmic: the growth factor
+    # from n=32 to n=256 must be far below the 8x of linear scaling.
+    for column in (3, 4, 5):  # the compact schemes
+        factor = rows[-1][column] / max(1, rows[0][column])
+        assert factor < 6.0
+    # Labels are exactly ceil(log2 n) bits.
+    for row in rows:
+        assert row[-1] == math.ceil(math.log2(row[0]))

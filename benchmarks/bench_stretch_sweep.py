@@ -1,0 +1,25 @@
+"""E7 — stretch vs epsilon for all four compact schemes.
+
+Run with: ``pytest benchmarks/bench_stretch_sweep.py --benchmark-only -s``
+"""
+
+from repro.experiments import sweeps
+
+
+def test_stretch_sweep(once):
+    result = once(
+        sweeps.run_stretch_sweep,
+        epsilons=[0.125, 0.25, 0.375, 0.5],
+        grid_side=8,
+        pair_count=250,
+    )
+    for row in result.rows:
+        eps = row[0]
+        labeled_bound = 1 + 8 * eps
+        assert row[1] <= labeled_bound  # labeled non-SF
+        assert row[2] <= labeled_bound  # labeled SF (Thm 1.2)
+        if eps < 0.5:
+            inv = 1 / eps
+            nameind_bound = (1 + 8 * (inv + 1) / (inv - 2)) * 1.3
+            assert row[3] <= nameind_bound  # Thm 1.4
+            assert row[4] <= nameind_bound  # Thm 1.1

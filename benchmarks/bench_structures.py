@@ -1,0 +1,14 @@
+"""E9 — substrate lemma audit (Lemmas 2.2, 2.3, Eqn. 3, Claim 3.9).
+
+Run with: ``pytest benchmarks/bench_structures.py --benchmark-only -s``
+"""
+
+from repro.experiments import structures
+
+
+def test_substrate_audit(once):
+    result = once(structures.run, epsilon=0.5)
+    for row in result.rows:
+        assert row[2] is True           # Lemma 2.3 exactly
+        assert row[3] <= row[4] + 1e-9  # Eqn. 3 height bound
+        assert row[5] <= row[6]         # Claim 3.9 H-link budget

@@ -1,0 +1,22 @@
+"""E1 — regenerate Table 1 (name-independent schemes), measured.
+
+Run with: ``pytest benchmarks/bench_table1.py --benchmark-only -s``
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_name_independent_schemes(once):
+    result = once(table1.run, epsilon=0.5, pair_count=300)
+    # Sanity: compact rows stay within the 9 + O(eps) envelope.
+    for row in result.rows:
+        if row[1] != "baseline (stretch 1)":
+            assert row[2] <= 9 + 8 * 0.5
+
+
+def test_table1_small_epsilon(once):
+    result = once(table1.run, epsilon=0.25, pair_count=150)
+    for row in result.rows:
+        if row[1] != "baseline (stretch 1)":
+            inv = 1 / 0.25
+            assert row[2] <= (1 + 8 * (inv + 1) / (inv - 2)) * 1.3

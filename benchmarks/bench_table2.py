@@ -1,0 +1,21 @@
+"""E2 — regenerate Table 2 (labeled schemes), measured.
+
+Run with: ``pytest benchmarks/bench_table2.py --benchmark-only -s``
+"""
+
+from repro.experiments import table2
+
+
+def test_table2_labeled_schemes(once):
+    result = once(table2.run, epsilon=0.5, pair_count=300)
+    for row in result.rows:
+        # Every labeled scheme stays within 1 + O(eps).
+        assert row[2] <= 1 + 8 * 0.5
+        # Labels are exactly ceil(log n) bits.
+        assert row[7] >= 1
+
+
+def test_table2_small_epsilon(once):
+    result = once(table2.run, epsilon=0.25, pair_count=150)
+    for row in result.rows:
+        assert row[2] <= 1 + 8 * 0.25

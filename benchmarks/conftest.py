@@ -1,0 +1,30 @@
+"""Benchmark configuration: print each regenerated table after timing.
+
+Every benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md §3).  Timing uses a single pedantic round — the quantity of
+interest is the *content* of the table (stretch, bits), not wall-clock —
+but pytest-benchmark still records build+evaluate time for regressions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with one round and return (and print) its table."""
+    result = benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    if hasattr(result, "formatted"):
+        print()
+        print(result.formatted())
+    return result
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,69 @@
+"""Sensor field with obstacles: routing where growth-boundedness fails.
+
+A sensor network deployed over terrain with obstacles induces exactly
+the metric the paper highlights: a grid with holes is still *doubling*
+(it lives in the plane) but not *growth-bounded* (ball populations jump
+across hole boundaries), so growth-bounded routing schemes lose their
+guarantees while this paper's schemes do not.
+
+The example deploys a 14x14 field with 30% of cells removed, then
+compares all four schemes on stretch vs storage — the trade-off a sensor
+deployment (RAM-constrained nodes) actually cares about.
+
+Run:  python examples/sensor_grid_with_holes.py
+"""
+
+from repro import (
+    GraphMetric,
+    NonScaleFreeLabeledScheme,
+    ScaleFreeLabeledScheme,
+    ScaleFreeNameIndependentScheme,
+    SchemeParameters,
+    ShortestPathScheme,
+    SimpleNameIndependentScheme,
+    doubling_dimension,
+    growth_bound_constant,
+)
+from repro.experiments.harness import sample_pairs
+from repro.graphs import grid_with_holes
+
+
+def main() -> None:
+    graph = grid_with_holes(14, hole_fraction=0.3, seed=23)
+    metric = GraphMetric(graph)
+    params = SchemeParameters(epsilon=0.5)
+
+    print(f"sensor field: 14x14 grid minus obstacles -> n={metric.n}")
+    print(f"  doubling dimension (greedy)   : "
+          f"{doubling_dimension(metric):.2f}")
+    print(f"  growth-bound constant observed: "
+          f"{growth_bound_constant(metric):.2f} "
+          f"(unbounded families exist here)")
+    print()
+
+    pairs = sample_pairs(metric, 400, seed=1)
+    print(f"{'scheme':46s} {'max':>6s} {'mean':>6s} {'table(B)':>9s} "
+          f"{'hdr(b)':>7s}")
+    for cls in (
+        ShortestPathScheme,
+        NonScaleFreeLabeledScheme,
+        ScaleFreeLabeledScheme,
+        SimpleNameIndependentScheme,
+        ScaleFreeNameIndependentScheme,
+    ):
+        scheme = cls(metric, params)
+        ev = scheme.evaluate(pairs)
+        print(
+            f"{scheme.name:46s} {ev.max_stretch:6.2f} "
+            f"{ev.mean_stretch:6.2f} {ev.max_table_bits // 8:9d} "
+            f"{ev.header_bits:7d}"
+        )
+    print()
+    print("reading: the labeled schemes deliver near-optimal paths; the")
+    print("name-independent schemes stay within the 9+O(eps) guarantee")
+    print("with tables orders of magnitude below the full-table baseline")
+    print("as the field grows.")
+
+
+if __name__ == "__main__":
+    main()

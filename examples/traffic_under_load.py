@@ -1,0 +1,60 @@
+"""Compact routing under traffic load: latency and hot links.
+
+Stretch bounds speak to a single packet; deployments care what the
+detours do under load.  This example injects a reproducible Poisson
+stream of packets into a grid network and compares the shortest-path
+oracle with the paper's two name-independent schemes in a
+store-and-forward discrete-event simulation: delivered latency, queueing
+delay, total network traffic, and the busiest links (the search-tree
+round trips concentrate load near net centers — measurable here).
+
+Run:  python examples/traffic_under_load.py
+"""
+
+from repro import (
+    GraphMetric,
+    ScaleFreeNameIndependentScheme,
+    SchemeParameters,
+    ShortestPathScheme,
+    SimpleNameIndependentScheme,
+)
+from repro.graphs import grid_2d
+from repro.runtime import TrafficSimulator, uniform_demands
+
+
+def main() -> None:
+    metric = GraphMetric(grid_2d(8))
+    params = SchemeParameters(epsilon=0.5)
+    demands = uniform_demands(metric.n, 250, rate=3.0, seed=11)
+    print(f"network: 8x8 grid; workload: {len(demands)} packets, "
+          f"Poisson rate 3.0")
+    print()
+    print(f"{'scheme':46s} {'mean lat':>9s} {'max lat':>8s} "
+          f"{'queueing':>9s} {'traffic':>8s}")
+    schemes = (
+        ShortestPathScheme(metric, params),
+        SimpleNameIndependentScheme(metric, params),
+        ScaleFreeNameIndependentScheme(metric, params),
+    )
+    reports = {}
+    for scheme in schemes:
+        report = TrafficSimulator(scheme, service_time=0.25).run(demands)
+        reports[scheme.name] = report
+        print(
+            f"{scheme.name:46s} {report.mean_latency():9.2f} "
+            f"{report.max_latency():8.2f} {report.mean_queueing():9.3f} "
+            f"{report.total_traffic():8.0f}"
+        )
+    print()
+    for name, report in reports.items():
+        hottest = report.busiest_links(top=3)
+        pretty = ", ".join(f"{a}->{b} x{c}" for (a, b), c in hottest)
+        print(f"hot links [{name}]: {pretty}")
+    print()
+    print("reading: compact routing trades ~3x traffic (the 9+eps")
+    print("detours) for polylog tables; hot links cluster around the")
+    print("net points that host the search trees.")
+
+
+if __name__ == "__main__":
+    main()

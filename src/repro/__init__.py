@@ -1,0 +1,77 @@
+"""Compact routing schemes in networks of low doubling dimension.
+
+A faithful reproduction of Konjevod, Richa & Xia — *Optimal-stretch
+name-independent compact routing in doubling metrics* (PODC 2006) and its
+SODA 2007 scale-free extension, as combined in the journal version.
+
+Quickstart::
+
+    import repro
+    from repro.graphs import grid_2d
+
+    metric = repro.GraphMetric(grid_2d(8))
+    scheme = repro.ScaleFreeNameIndependentScheme(
+        metric, repro.SchemeParameters(epsilon=0.5)
+    )
+    result = scheme.route(source=0, target=63)
+    print(result.stretch, scheme.max_table_bits())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.params import SchemeParameters
+from repro.core.types import (
+    NodeId,
+    PreprocessingError,
+    ReproError,
+    RouteFailure,
+    RouteResult,
+)
+from repro.directory.object_directory import LookupResult, ObjectDirectory
+from repro.metric.doubling import doubling_dimension, growth_bound_constant
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.hierarchy import NetHierarchy
+from repro.oracle.distance_oracle import DistanceOracle
+from repro.packing.ballpacking import BallPacking
+from repro.schemes.base import (
+    LabeledScheme,
+    NameIndependentScheme,
+    RoutingScheme,
+    SchemeEvaluation,
+)
+from repro.schemes.cowen_landmark import CowenLandmarkScheme
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.shortest_path import ShortestPathScheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BallPacking",
+    "CowenLandmarkScheme",
+    "DistanceOracle",
+    "GraphMetric",
+    "LookupResult",
+    "LabeledScheme",
+    "NameIndependentScheme",
+    "NetHierarchy",
+    "NodeId",
+    "NonScaleFreeLabeledScheme",
+    "ObjectDirectory",
+    "PreprocessingError",
+    "ReproError",
+    "RouteFailure",
+    "RouteResult",
+    "RoutingScheme",
+    "ScaleFreeLabeledScheme",
+    "ScaleFreeNameIndependentScheme",
+    "SchemeEvaluation",
+    "SchemeParameters",
+    "ShortestPathScheme",
+    "SimpleNameIndependentScheme",
+    "doubling_dimension",
+    "growth_bound_constant",
+]

@@ -1,0 +1,148 @@
+"""Command-line interface: run any experiment from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1 [--epsilon 0.5] [--pairs 300]
+    python -m repro table2 | fig1 | fig2 | fig3 | scalefree |
+                    stretch-sweep | storage-scaling | structures | report
+
+Each command prints the corresponding measured table (see DESIGN.md §3
+for the experiment index); ``report`` regenerates EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import ablation, congestion, fig1, fig2, fig3
+from repro.experiments import related_work, relaxed, report, scalefree
+from repro.experiments import storage_audit, structures, sweeps
+from repro.experiments import table1, table2
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    table1.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    table2.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    fig1.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+    fig1.run_scalefree(epsilon=args.epsilon, pair_count=args.pairs).print()
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    fig2.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    fig3.run_construction().print()
+    fig3.run_counting().print()
+    fig3.run_adversary().print()
+
+
+def _cmd_scalefree(args: argparse.Namespace) -> None:
+    scalefree.run(epsilon=args.epsilon).print()
+
+
+def _cmd_stretch_sweep(args: argparse.Namespace) -> None:
+    sweeps.run_stretch_sweep(pair_count=args.pairs).print()
+
+
+def _cmd_storage_scaling(args: argparse.Namespace) -> None:
+    sweeps.run_storage_scaling(epsilon=args.epsilon).print()
+
+
+def _cmd_structures(args: argparse.Namespace) -> None:
+    structures.run(epsilon=args.epsilon).print()
+
+
+def _cmd_related_work(args: argparse.Namespace) -> None:
+    related_work.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+
+
+def _cmd_ablations(args: argparse.Namespace) -> None:
+    ablation.run_tree_router(
+        epsilon=args.epsilon, pair_count=args.pairs
+    ).print()
+    ablation.run_ring_restriction(epsilon=args.epsilon).print()
+    ablation.run_packing_service().print()
+
+
+def _cmd_storage_audit(args: argparse.Namespace) -> None:
+    storage_audit.run(epsilon=args.epsilon).print()
+
+
+def _cmd_congestion(args: argparse.Namespace) -> None:
+    congestion.run(epsilon=args.epsilon, packet_count=args.pairs).print()
+
+
+def _cmd_relaxed(args: argparse.Namespace) -> None:
+    relaxed.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    content = report.generate(pair_count=args.pairs)
+    with open(args.output, "w") as handle:
+        handle.write(content)
+    print(f"wrote {args.output}")
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "scalefree": _cmd_scalefree,
+    "stretch-sweep": _cmd_stretch_sweep,
+    "storage-scaling": _cmd_storage_scaling,
+    "structures": _cmd_structures,
+    "related-work": _cmd_related_work,
+    "ablations": _cmd_ablations,
+    "congestion": _cmd_congestion,
+    "relaxed": _cmd_relaxed,
+    "storage-audit": _cmd_storage_audit,
+    "report": _cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'Compact Routing "
+            "Schemes in Networks of Low Doubling Dimension' as "
+            "measured experiments."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name in COMMANDS:
+        cmd = sub.add_parser(name, help=f"run experiment {name}")
+        cmd.add_argument("--epsilon", type=float, default=0.5)
+        cmd.add_argument("--pairs", type=int, default=300)
+        if name == "report":
+            cmd.add_argument("--output", default="EXPERIMENTS.md")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:")
+        for name in COMMANDS:
+            print(f"  {name}")
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

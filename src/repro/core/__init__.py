@@ -1,0 +1,29 @@
+"""Core shared types, parameters, and bit-accounting utilities."""
+
+from repro.core.bitcount import (
+    BitCounter,
+    bits_for_count,
+    bits_for_distance,
+    bits_for_id,
+)
+from repro.core.params import SchemeParameters
+from repro.core.types import (
+    NodeId,
+    PreprocessingError,
+    ReproError,
+    RouteFailure,
+    RouteResult,
+)
+
+__all__ = [
+    "BitCounter",
+    "NodeId",
+    "PreprocessingError",
+    "ReproError",
+    "RouteFailure",
+    "RouteResult",
+    "SchemeParameters",
+    "bits_for_count",
+    "bits_for_distance",
+    "bits_for_id",
+]

@@ -1,0 +1,78 @@
+"""Bit accounting for routing tables, labels, and packet headers.
+
+The paper states all space bounds in bits.  To compare measured storage
+against those bounds we charge every stored item a concrete bit cost:
+
+* a node id or routing label out of a universe of ``n`` values costs
+  ``ceil(log2 n)`` bits (at least 1);
+* a distance is charged ``ceil(log2 n)``-equivalent bits as well — the
+  paper stores distances implicitly inside ``O(log n)``-bit entries, and we
+  follow the same convention so measured numbers line up with the stated
+  bounds;
+* a level/index out of ``k`` possibilities costs ``ceil(log2 (k+1))`` bits.
+
+:class:`BitCounter` is a tiny ledger used by each scheme's per-node table
+objects: entries are registered under a category name so experiments can
+report both totals and per-structure breakdowns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+def bits_for_id(universe: int) -> int:
+    """Bits to name one element of a universe of ``universe`` items."""
+    if universe <= 1:
+        return 1
+    return math.ceil(math.log2(universe))
+
+
+def bits_for_count(maximum: int) -> int:
+    """Bits to store an integer in ``[0, maximum]``."""
+    return bits_for_id(maximum + 1)
+
+
+def bits_for_distance(n: int) -> int:
+    """Bits charged for one stored distance in an ``n``-node network."""
+    return bits_for_id(max(2, n))
+
+
+class BitCounter:
+    """Ledger of storage charges grouped by category.
+
+    Example:
+        >>> ledger = BitCounter()
+        >>> ledger.charge("range-info", 24)
+        >>> ledger.charge("range-info", 24)
+        >>> ledger.total()
+        48
+        >>> ledger.breakdown()["range-info"]
+        48
+    """
+
+    def __init__(self) -> None:
+        self._by_category: Dict[str, int] = {}
+
+    def charge(self, category: str, bits: int) -> None:
+        """Record ``bits`` of storage under ``category``."""
+        if bits < 0:
+            raise ValueError(f"negative bit charge: {bits}")
+        self._by_category[category] = self._by_category.get(category, 0) + bits
+
+    def total(self) -> int:
+        """Total bits recorded across all categories."""
+        return sum(self._by_category.values())
+
+    def breakdown(self) -> Dict[str, int]:
+        """Copy of the per-category totals."""
+        return dict(self._by_category)
+
+    def merge(self, other: "BitCounter") -> None:
+        """Add all of ``other``'s charges into this ledger."""
+        for category, bits in other._by_category.items():
+            self.charge(category, bits)
+
+    def __repr__(self) -> str:
+        return f"BitCounter(total={self.total()}, {self._by_category!r})"

@@ -1,0 +1,84 @@
+"""Shared base types for the compact-routing library.
+
+Nodes are identified by integer ids (``NodeId``).  Every routing scheme in
+this library produces :class:`RouteResult` objects describing the simulated
+path of a packet, together with enough bookkeeping to audit stretch and
+header sizes against the bounds claimed by the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+NodeId = int
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PreprocessingError(ReproError):
+    """Raised when a scheme cannot be constructed for the given network."""
+
+
+class RouteFailure(ReproError):
+    """Raised when a simulated packet fails to reach its destination.
+
+    This indicates a bug in a scheme implementation (the paper's schemes
+    always terminate), so it is an error rather than a result state.
+    """
+
+
+@dataclasses.dataclass
+class RouteResult:
+    """Outcome of routing one packet from ``source`` to ``target``.
+
+    Attributes:
+        source: Originating node.
+        target: Destination node.
+        path: Sequence of nodes visited, beginning with ``source`` and
+            ending with ``target``.  Virtual-edge traversals (netting-tree
+            hops, search-tree descents) are expanded to their endpoint
+            nodes; the cost of each leg is the shortest-path distance
+            between consecutive entries.
+        cost: Total distance travelled by the packet.
+        optimal: Shortest-path distance ``d(source, target)``.
+        header_bits: Maximum packet-header size (in bits) used en route.
+        legs: Optional breakdown of the cost by named phase (e.g.
+            ``{"zoom": ..., "search": ..., "final": ...}``); used by the
+            figure-reproduction experiments.
+    """
+
+    source: NodeId
+    target: NodeId
+    path: List[NodeId]
+    cost: float
+    optimal: float
+    header_bits: int = 0
+    legs: Optional[Dict[str, float]] = None
+
+    @property
+    def stretch(self) -> float:
+        """Ratio of travelled cost to the shortest-path distance.
+
+        A route from a node to itself has stretch 1 by convention.
+        """
+        if self.source == self.target:
+            return 1.0
+        return self.cost / self.optimal
+
+    @property
+    def hops(self) -> int:
+        """Number of legs in the simulated path."""
+        return max(0, len(self.path) - 1)
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("path must contain at least the source node")
+        if self.path[0] != self.source:
+            raise ValueError("path must start at the source")
+        if self.path[-1] != self.target:
+            raise RouteFailure(
+                f"packet for {self.target} stopped at {self.path[-1]}"
+            )

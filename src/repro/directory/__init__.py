@@ -1,0 +1,5 @@
+"""Locality-aware object location over name-independent routing."""
+
+from repro.directory.object_directory import LookupResult, ObjectDirectory
+
+__all__ = ["LookupResult", "ObjectDirectory"]

@@ -1,0 +1,21 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module exposes a ``run(...)`` function returning a list of result
+rows plus a ``main()`` that prints the formatted table.  See DESIGN.md §3
+for the experiment index (E1-E10) and EXPERIMENTS.md for recorded
+paper-vs-measured outcomes.
+"""
+
+from repro.experiments.harness import (
+    ExperimentTable,
+    build_scheme,
+    sample_pairs,
+    standard_suite,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "build_scheme",
+    "sample_pairs",
+    "standard_suite",
+]

@@ -1,0 +1,180 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+A1 — **tree-routing substrate** (Lemma 4.1): DFS-interval router vs the
+heavy-path router inside the Theorem 1.2 scheme.  Same routes and
+stretch by construction; different storage/label/header profile —
+interval labels are ``⌈log n⌉`` bits but node storage scales with
+degree, heavy-path labels are ``O(log² n)`` bits with degree-free node
+storage (the paper's ``O(log²n/log log n)`` header comes from exactly
+this trade).
+
+A2 — **ring-level restriction** (``R(u)``, §4.1): count the ring entries
+Theorem 1.2 stores versus what storing *every* level ``i ∈ [log Δ]``
+(the Lemma 3.1 layout) would cost, across growing ``Δ``.  This isolates
+the single change that makes the labeled scheme scale-free.
+
+A3 — **packing service** (§3.3): fraction of ``(i, u ∈ Y_i)`` levels
+whose search tree is replaced by an ``H(u, i)`` link to a packed ball,
+as ``ε`` varies — the mechanism behind Theorem 1.1's storage bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.params import SchemeParameters
+from repro.experiments.harness import ExperimentTable, sample_pairs
+from repro.graphs.generators import caterpillar, exponential_path, grid_2d
+from repro.metric.graph_metric import GraphMetric
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.trees.heavy_path import HeavyPathRouter
+from repro.trees.tree_router import TreeRouter
+
+
+def run_tree_router(
+    epsilon: float = 0.5, pair_count: int = 200
+) -> ExperimentTable:
+    """A1: interval vs heavy-path tree routing inside Theorem 1.2."""
+    params = SchemeParameters(epsilon=epsilon)
+    rows: List[List[object]] = []
+    for graph_name, graph in (
+        ("grid 7x7", grid_2d(7)),
+        ("caterpillar 8x5", caterpillar(8, 5)),
+    ):
+        metric = GraphMetric(graph)
+        pairs = sample_pairs(metric, pair_count)
+        for router_cls, label in (
+            (TreeRouter, "DFS intervals"),
+            (HeavyPathRouter, "heavy paths (FG-style)"),
+        ):
+            scheme = ScaleFreeLabeledScheme(
+                metric, params, tree_router_cls=router_cls
+            )
+            ev = scheme.evaluate(pairs)
+            rows.append(
+                [
+                    graph_name,
+                    label,
+                    round(ev.max_stretch, 3),
+                    ev.max_table_bits,
+                    ev.header_bits,
+                ]
+            )
+    return ExperimentTable(
+        title=f"Ablation A1: Lemma 4.1 substrate, eps={epsilon}",
+        columns=[
+            "graph",
+            "tree router",
+            "max stretch",
+            "max table bits",
+            "header bits",
+        ],
+        rows=rows,
+        notes=[
+            "stretch is identical by construction (both route optimally "
+            "on the tree); storage shifts between tables (intervals, "
+            "degree-dependent) and headers (heavy-path labels)",
+        ],
+    )
+
+
+def run_ring_restriction(
+    epsilon: float = 0.5, sizes: Optional[List[float]] = None
+) -> ExperimentTable:
+    """A2: ring entries stored with R(u) vs at every level."""
+    if sizes is None:
+        sizes = [1.5, 4.0, 16.0]
+    params = SchemeParameters(epsilon=epsilon)
+    rows: List[List[object]] = []
+    for base in sizes:
+        metric = GraphMetric(exponential_path(18, base=base))
+        scheme = ScaleFreeLabeledScheme(metric, params)
+        hierarchy = scheme.hierarchy
+        restricted = sum(
+            len(scheme.ring_entries(u, i))
+            for u in metric.nodes
+            for i in scheme.stored_levels(u)
+        )
+        full = sum(
+            len(hierarchy.ring(u, i, epsilon))
+            for u in metric.nodes
+            for i in hierarchy.levels
+        )
+        rows.append(
+            [
+                base,
+                metric.log_diameter,
+                restricted,
+                full,
+                round(full / max(1, restricted), 2),
+            ]
+        )
+    return ExperimentTable(
+        title=f"Ablation A2: R(u) ring restriction, eps={epsilon}, n=18",
+        columns=[
+            "weight base",
+            "log Delta",
+            "entries with R(u)",
+            "entries all levels",
+            "savings factor",
+        ],
+        rows=rows,
+        notes=[
+            "the all-levels column is the Lemma 3.1 layout; its growth "
+            "with log Delta is what R(u) removes (Theorem 1.2)",
+        ],
+    )
+
+
+def run_packing_service(
+    epsilons: Optional[List[float]] = None,
+) -> ExperimentTable:
+    """A3: fraction of levels served by packed balls vs own trees."""
+    if epsilons is None:
+        epsilons = [0.125, 0.25, 0.5]
+    rows: List[List[object]] = []
+    metric = GraphMetric(grid_2d(7))
+    for eps in epsilons:
+        scheme = ScaleFreeNameIndependentScheme(
+            metric, SchemeParameters(epsilon=eps)
+        )
+        linked = len(scheme._h_links)
+        owned = scheme.own_tree_count()
+        rows.append(
+            [
+                eps,
+                owned,
+                linked,
+                round(linked / max(1, owned + linked), 3),
+                max(
+                    scheme.h_link_count(u) for u in metric.nodes
+                ),
+            ]
+        )
+    return ExperimentTable(
+        title="Ablation A3: packed-ball service in Theorem 1.1 (grid 7x7)",
+        columns=[
+            "eps",
+            "own A-trees",
+            "H-links",
+            "served fraction",
+            "max H-links/node",
+        ],
+        rows=rows,
+        notes=[
+            "larger eps shrinks search balls, so more levels keep their "
+            "own trees; the H-link budget stays within Claim 3.9's "
+            "4 log n either way",
+        ],
+    )
+
+
+def main() -> None:
+    run_tree_router().print()
+    run_ring_restriction().print()
+    run_packing_service().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""E4 — regenerate paper Figure 2: anatomy of a labeled route.
+
+Figure 2 depicts Algorithm 5's route: the greedy ring walk
+``u_0 → u_1 → ... → u_t``, the leg to the Voronoi center ``c``, the
+search-tree round trip inside ``B_c(r_c(j))``, and the final tree leg to
+``v``.  We measure those four phases per route and verify the Lemma 4.7
+accounting: walk + final phases together stay within ``(1+O(ε)) d(u,v)``
+and the center/search detours are charged against
+``r_{u_t}(j) < 3ε · d(u_t, v)`` (Claim 4.6).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.params import SchemeParameters
+from repro.experiments.harness import ExperimentTable, sample_pairs, standard_suite
+from repro.metric.graph_metric import GraphMetric
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+
+
+def run(
+    epsilon: float = 0.5,
+    pair_count: int = 200,
+    suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+) -> ExperimentTable:
+    """Measure the Figure 2 cost decomposition for Theorem 1.2."""
+    params = SchemeParameters(epsilon=epsilon)
+    if suite is None:
+        suite = standard_suite("small")
+    rows: List[List[object]] = []
+    for graph_name, graph in suite:
+        metric = GraphMetric(graph)
+        scheme = ScaleFreeLabeledScheme(metric, params)
+        pairs = sample_pairs(metric, pair_count)
+        shares = {"walk": [], "to_center": [], "search": [], "final": []}
+        stretches: List[float] = []
+        voronoi_used = 0
+        for u, v in pairs:
+            result = scheme.route(u, v)
+            total = max(result.cost, 1e-12)
+            for phase in shares:
+                shares[phase].append(result.legs.get(phase, 0.0) / total)
+            if result.legs.get("to_center", 0.0) > 0 or result.legs.get(
+                "search", 0.0
+            ) > 0:
+                voronoi_used += 1
+            stretches.append(result.stretch)
+        rows.append(
+            [
+                graph_name,
+                round(statistics.fmean(shares["walk"]), 3),
+                round(statistics.fmean(shares["to_center"]), 3),
+                round(statistics.fmean(shares["search"]), 3),
+                round(statistics.fmean(shares["final"]), 3),
+                f"{voronoi_used}/{len(pairs)}",
+                round(max(stretches), 3),
+                round(statistics.fmean(stretches), 3),
+                scheme.fallback_count,
+            ]
+        )
+    return ExperimentTable(
+        title=f"Figure 2 (measured): labeled route anatomy, eps={epsilon}",
+        columns=[
+            "graph",
+            "walk share",
+            "to-center share",
+            "search share",
+            "final share",
+            "voronoi phase used",
+            "max stretch",
+            "mean stretch",
+            "fallbacks",
+        ],
+        rows=rows,
+        notes=[
+            "Lemma 4.7: walk+final ~ d(u,v); center/search detours are "
+            "O(eps) * d(u,v) (Claim 4.6)",
+            "fallbacks counts defensive escalations past Lemma 4.5 "
+            "(should be 0)",
+        ],
+    )
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

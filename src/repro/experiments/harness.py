@@ -1,0 +1,127 @@
+"""Shared plumbing for the experiment modules.
+
+Provides the standard graph suite (the network families motivated in the
+paper's introduction), deterministic source-destination pair sampling,
+scheme construction with shared substrates, and a small ASCII table
+type used by every experiment's ``main()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import networkx as nx
+
+from repro.core.params import SchemeParameters
+from repro.core.types import NodeId
+from repro.graphs.generators import (
+    exponential_path,
+    grid_2d,
+    grid_with_holes,
+    random_geometric,
+)
+from repro.metric.graph_metric import GraphMetric
+from repro.schemes.base import RoutingScheme
+
+
+def standard_suite(scale: str = "small") -> List[Tuple[str, nx.Graph]]:
+    """The graph families every comparison experiment runs on.
+
+    Args:
+        scale: ``"small"`` (fast, used by tests and default benches) or
+            ``"medium"`` (used for scaling studies).
+    """
+    if scale == "small":
+        return [
+            ("grid 8x8", grid_2d(8)),
+            ("grid-with-holes 9x9", grid_with_holes(9, hole_fraction=0.25, seed=7)),
+            ("geometric n=64", random_geometric(64, seed=11)),
+            ("exp-path n=16", exponential_path(16)),
+        ]
+    if scale == "medium":
+        return [
+            ("grid 16x16", grid_2d(16)),
+            ("grid-with-holes 18x18", grid_with_holes(18, hole_fraction=0.25, seed=7)),
+            ("geometric n=256", random_geometric(256, seed=11)),
+            ("exp-path n=32", exponential_path(32)),
+        ]
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def sample_pairs(
+    metric: GraphMetric, count: int, seed: int = 0
+) -> List[Tuple[NodeId, NodeId]]:
+    """Deterministic sample of ordered source-destination pairs.
+
+    Samples without replacement when possible; falls back to all pairs
+    for tiny graphs.
+    """
+    n = metric.n
+    all_count = n * (n - 1)
+    if count >= all_count:
+        return [(u, v) for u in metric.nodes for v in metric.nodes if u != v]
+    rng = random.Random(seed)
+    seen = set()
+    pairs: List[Tuple[NodeId, NodeId]] = []
+    while len(pairs) < count:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and (u, v) not in seen:
+            seen.add((u, v))
+            pairs.append((u, v))
+    return pairs
+
+
+def build_scheme(
+    scheme_cls: Type[RoutingScheme],
+    metric: GraphMetric,
+    params: Optional[SchemeParameters] = None,
+    **kwargs,
+) -> RoutingScheme:
+    """Construct a scheme with default parameters."""
+    if params is None:
+        params = SchemeParameters()
+    return scheme_cls(metric, params, **kwargs)
+
+
+@dataclasses.dataclass
+class ExperimentTable:
+    """A printable experiment result: header, rows, and notes."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]]
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def formatted(self) -> str:
+        def fmt(cell: object) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.3f}"
+            return str(cell)
+
+        grid = [self.columns] + [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(row[i]) for row in grid) for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = " | ".join(
+            name.ljust(widths[i]) for i, name in enumerate(grid[0])
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in grid[1:]:
+            lines.append(
+                " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def print(self) -> None:
+        print(self.formatted())
+        print()

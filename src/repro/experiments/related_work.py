@@ -1,0 +1,83 @@
+"""Related-work comparison (paper §1.2): general-graph techniques vs
+the doubling-metric schemes on the same networks.
+
+The paper's motivation: on general graphs, stretch below 3 forces
+``Ω(√n)``-bit tables (Thorup–Zwick lower bound), and the classic
+achievable point is Cowen's stretch-3 landmark scheme with polynomial
+tables.  Restricting to low doubling dimension buys stretch ``1 + ε``
+with *polylogarithmic* tables.  This experiment runs both on the same
+networks so the gap is visible in one table: the landmark scheme's
+stretch plateaus near its guarantee of 3 while its cluster tables grow
+polynomially; the Theorem 1.2 scheme holds ``1 + O(ε)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.params import SchemeParameters
+from repro.experiments.harness import ExperimentTable, sample_pairs, standard_suite
+from repro.metric.graph_metric import GraphMetric
+from repro.schemes.cowen_landmark import CowenLandmarkScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+
+
+def run(
+    epsilon: float = 0.5,
+    pair_count: int = 300,
+    suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+) -> ExperimentTable:
+    params = SchemeParameters(epsilon=epsilon)
+    if suite is None:
+        suite = standard_suite("small")
+    rows: List[List[object]] = []
+    for graph_name, graph in suite:
+        metric = GraphMetric(graph)
+        pairs = sample_pairs(metric, pair_count)
+        for scheme, label in (
+            (CowenLandmarkScheme(metric, params), "Cowen stretch-3"),
+            (ScaleFreeLabeledScheme(metric, params), "Theorem 1.2"),
+        ):
+            ev = scheme.evaluate(pairs)
+            rows.append(
+                [
+                    graph_name,
+                    label,
+                    round(ev.max_stretch, 3),
+                    round(ev.mean_stretch, 3),
+                    ev.max_table_bits,
+                    ev.header_bits,
+                    scheme.stretch_guarantee(),
+                ]
+            )
+    return ExperimentTable(
+        title=(
+            f"Related work (measured): general-graph landmark routing "
+            f"vs Theorem 1.2, eps={epsilon}"
+        ),
+        columns=[
+            "graph",
+            "scheme",
+            "max stretch",
+            "mean stretch",
+            "max table bits",
+            "header bits",
+            "guarantee",
+        ],
+        rows=rows,
+        notes=[
+            "Cowen's scheme cannot beat stretch 3 in general; on "
+            "doubling metrics Theorem 1.2 reaches 1+O(eps) with "
+            "polylog tables",
+        ],
+    )
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Workload generators: graph families of low doubling dimension."""
+
+from repro.graphs.generators import (
+    balanced_tree,
+    caterpillar,
+    clustered_backbone,
+    exponential_path,
+    exponential_ring,
+    grid_2d,
+    grid_with_holes,
+    hypercube,
+    path_graph,
+    random_geometric,
+    ring_graph,
+    star_graph,
+    uniform_random_weights,
+)
+
+__all__ = [
+    "balanced_tree",
+    "caterpillar",
+    "clustered_backbone",
+    "exponential_path",
+    "exponential_ring",
+    "grid_2d",
+    "grid_with_holes",
+    "hypercube",
+    "path_graph",
+    "random_geometric",
+    "ring_graph",
+    "star_graph",
+    "uniform_random_weights",
+]

@@ -1,0 +1,265 @@
+"""Graph families used as workloads throughout the reproduction.
+
+All generators return connected, weighted, undirected
+:class:`networkx.Graph` objects with integer node ids ``0 .. n-1`` and a
+``weight`` attribute on every edge.  The families mirror the classes the
+paper's introduction motivates:
+
+* **Grids** (``grid_2d``) — the canonical growth-bounded metric.
+* **Grids with holes** (``grid_with_holes``) — the paper's own example of
+  a metric that is doubling but *not* growth-bounded ("if points are
+  excluded from the grid ... the resulting metric may not be
+  growth-bounded anymore.  It will, however, still have bounded doubling
+  dimension").
+* **Random geometric graphs** (``random_geometric``) — bounded-dimension
+  Euclidean data, the standard doubling testbed.
+* **Exponential-weight paths/rings** (``exponential_path``,
+  ``exponential_ring``) — tiny doubling dimension but normalized diameter
+  ``Δ`` exponential in ``n``; these separate the scale-free schemes
+  (Theorems 1.1/1.2) from the ``log Δ``-dependent ones (Theorem 1.4).
+* **Trees, stars, paths** — degenerate families used in unit tests and
+  by the §5 lower-bound construction's sanity checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+def _relabel_consecutive(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 preserving sorted order of old labels."""
+    mapping = {v: i for i, v in enumerate(sorted(graph.nodes()))}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def grid_2d(width: int, height: Optional[int] = None) -> nx.Graph:
+    """``width x height`` unit-weight 2-D grid (4-neighbour)."""
+    if height is None:
+        height = width
+    if width < 1 or height < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = nx.grid_2d_graph(width, height)
+    nx.set_edge_attributes(graph, 1.0, "weight")
+    return _relabel_consecutive(graph)
+
+
+def grid_with_holes(
+    width: int,
+    height: Optional[int] = None,
+    hole_fraction: float = 0.25,
+    seed: int = 0,
+) -> nx.Graph:
+    """2-D grid with a random subset of cells deleted (kept connected).
+
+    Deletions are sampled uniformly; any deletion that would disconnect
+    the remaining grid is skipped.  The result remains doubling (it is a
+    subset of the plane) but is generally not growth-bounded near hole
+    boundaries.
+    """
+    if not 0.0 <= hole_fraction < 1.0:
+        raise ValueError("hole_fraction must be in [0, 1)")
+    graph = nx.grid_2d_graph(width, height if height is not None else width)
+    nx.set_edge_attributes(graph, 1.0, "weight")
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    to_remove = int(hole_fraction * len(nodes))
+    removed = 0
+    for node in nodes:
+        if removed >= to_remove:
+            break
+        if graph.number_of_nodes() <= 2:
+            break
+        neighbours = list(graph.neighbors(node))
+        graph.remove_node(node)
+        if nx.is_connected(graph):
+            removed += 1
+        else:
+            graph.add_node(node)
+            for nb in neighbours:
+                graph.add_edge(node, nb, weight=1.0)
+    return _relabel_consecutive(graph)
+
+
+def random_geometric(
+    n: int,
+    dim: int = 2,
+    seed: int = 0,
+    connect_radius_factor: float = 1.5,
+) -> nx.Graph:
+    """Random points in ``[0,1]^dim`` with edges below a connect radius.
+
+    The radius is ``connect_radius_factor * (log n / n)^(1/dim)`` (the
+    standard connectivity threshold scaling); if the result is still
+    disconnected, the nearest pairs across components are linked.  Edge
+    weights are Euclidean distances.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    points = [
+        tuple(rng.random() for _ in range(dim)) for _ in range(n)
+    ]
+    radius = connect_radius_factor * (math.log(max(2, n)) / n) ** (1.0 / dim)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u, v in itertools.combinations(range(n), 2):
+        d = math.dist(points[u], points[v])
+        if d <= radius:
+            graph.add_edge(u, v, weight=max(d, 1e-6))
+    _connect_components_by_nearest(graph, points)
+    for u in graph.nodes():
+        graph.nodes[u]["pos"] = points[u]
+    return graph
+
+
+def _connect_components_by_nearest(
+    graph: nx.Graph, points: Sequence[Tuple[float, ...]]
+) -> None:
+    """Link components via their geometrically nearest node pairs."""
+    while not nx.is_connected(graph):
+        components = [list(c) for c in nx.connected_components(graph)]
+        base = components[0]
+        best: Optional[Tuple[float, int, int]] = None
+        for other in components[1:]:
+            for u in base:
+                for v in other:
+                    d = math.dist(points[u], points[v])
+                    if best is None or d < best[0]:
+                        best = (d, u, v)
+        assert best is not None
+        graph.add_edge(best[1], best[2], weight=max(best[0], 1e-6))
+
+
+def path_graph(n: int, weight: float = 1.0) -> nx.Graph:
+    """Path on ``n`` nodes with uniform edge weight."""
+    graph = nx.path_graph(n)
+    nx.set_edge_attributes(graph, float(weight), "weight")
+    return graph
+
+
+def ring_graph(n: int, weight: float = 1.0) -> nx.Graph:
+    """Cycle on ``n`` nodes with uniform edge weight."""
+    graph = nx.cycle_graph(n)
+    nx.set_edge_attributes(graph, float(weight), "weight")
+    return graph
+
+
+def star_graph(n: int, weight: float = 1.0) -> nx.Graph:
+    """Star with ``n`` nodes total (center + n-1 leaves)."""
+    if n < 2:
+        raise ValueError("star needs at least 2 nodes")
+    graph = nx.star_graph(n - 1)
+    nx.set_edge_attributes(graph, float(weight), "weight")
+    return graph
+
+
+def balanced_tree(branching: int, depth: int, weight: float = 1.0) -> nx.Graph:
+    """Complete ``branching``-ary tree of the given depth."""
+    graph = nx.balanced_tree(branching, depth)
+    nx.set_edge_attributes(graph, float(weight), "weight")
+    return graph
+
+
+def exponential_path(n: int, base: float = 2.0) -> nx.Graph:
+    """Path whose i-th edge has weight ``base**i``.
+
+    Normalized diameter is ``Θ(base^(n-1))`` — exponential in ``n`` —
+    while the doubling dimension stays constant.  This is the canonical
+    adversarial input for non-scale-free schemes: a hierarchy over
+    ``log Δ = Θ(n)`` levels.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    graph = nx.Graph()
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, weight=base**i)
+    return graph
+
+
+def exponential_ring(n: int, base: float = 2.0) -> nx.Graph:
+    """Cycle closing an exponential path with one heavy chord edge."""
+    graph = exponential_path(n, base=base)
+    total = sum(base**i for i in range(n - 1))
+    graph.add_edge(n - 1, 0, weight=total)
+    return graph
+
+
+def clustered_backbone(
+    clusters: int, cluster_size: int, base: float = 2.0
+) -> nx.Graph:
+    """Chain of unit-weight cliques joined by geometrically heavier links.
+
+    Models an internet-like topology: dense regional clusters whose
+    inter-cluster "backbone" links span ever larger distances.  The
+    normalized diameter grows like ``base^clusters`` while the doubling
+    dimension stays bounded — another scale-free stressor, with
+    non-trivial local structure (unlike the exponential path).
+    """
+    if clusters < 1 or cluster_size < 1:
+        raise ValueError("need at least one cluster of one node")
+    if base <= 1.0:
+        raise ValueError("base must exceed 1")
+    graph = nx.Graph()
+    for c in range(clusters):
+        offset = c * cluster_size
+        graph.add_node(offset)
+        for i in range(cluster_size):
+            for j in range(i + 1, cluster_size):
+                graph.add_edge(offset + i, offset + j, weight=1.0)
+        if c > 0:
+            graph.add_edge(offset - 1, offset, weight=base**c)
+    return graph
+
+
+def caterpillar(spine: int, legs_per_node: int, weight: float = 1.0) -> nx.Graph:
+    """Path of ``spine`` nodes, each carrying ``legs_per_node`` leaves.
+
+    A tree family with highly non-uniform degrees; exercises the
+    degree-sensitive storage of interval tree routing versus the
+    heavy-path router.
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("need a positive spine")
+    graph = nx.Graph()
+    next_id = spine
+    for i in range(spine):
+        graph.add_node(i)
+        if i > 0:
+            graph.add_edge(i - 1, i, weight=weight)
+        for _ in range(legs_per_node):
+            graph.add_edge(i, next_id, weight=weight)
+            next_id += 1
+    return graph
+
+
+def hypercube(dimension: int) -> nx.Graph:
+    """The ``dimension``-cube: doubling dimension Θ(dimension).
+
+    Included as a *counterexample* family: for large ``dimension`` this
+    is not a low-doubling network, and the doubling estimator should
+    report a dimension growing with ``dimension``.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be positive")
+    graph = nx.hypercube_graph(dimension)
+    nx.set_edge_attributes(graph, 1.0, "weight")
+    return _relabel_consecutive(graph)
+
+
+def uniform_random_weights(
+    graph: nx.Graph, low: float = 1.0, high: float = 4.0, seed: int = 0
+) -> nx.Graph:
+    """Copy of ``graph`` with i.i.d. uniform edge weights in [low, high]."""
+    if low <= 0 or high < low:
+        raise ValueError("need 0 < low <= high")
+    rng = random.Random(seed)
+    out = graph.copy()
+    for u, v in out.edges():
+        out[u][v]["weight"] = rng.uniform(low, high)
+    return out

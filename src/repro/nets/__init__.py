@@ -1,0 +1,6 @@
+"""r-nets, the nested net hierarchy, zooming sequences, netting tree."""
+
+from repro.nets.hierarchy import NetHierarchy
+from repro.nets.rnet import greedy_rnet, is_rnet
+
+__all__ = ["NetHierarchy", "greedy_rnet", "is_rnet"]

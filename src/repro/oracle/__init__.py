@@ -1,0 +1,5 @@
+"""Approximate distance oracles over the net hierarchy."""
+
+from repro.oracle.distance_oracle import DistanceOracle
+
+__all__ = ["DistanceOracle"]

@@ -1,0 +1,5 @@
+"""Ball packings (paper Lemma 2.3)."""
+
+from repro.packing.ballpacking import BallPacking, PackedBall
+
+__all__ = ["BallPacking", "PackedBall"]

@@ -1,0 +1,35 @@
+"""Packet-header serialization: bit-exact codecs for scheme headers."""
+
+from repro.runtime.bitstream import BitReader, BitWriter
+from repro.runtime.headers import (
+    FieldSpec,
+    HeaderCodec,
+    labeled_scalefree_codec,
+    labeled_simple_codec,
+    name_independent_codec,
+)
+from repro.runtime.stepwise import LocalLabeledNode, StepwiseLabeledRouter
+from repro.runtime.simulator import (
+    Demand,
+    DeliveredPacket,
+    SimulationReport,
+    TrafficSimulator,
+    uniform_demands,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "Demand",
+    "DeliveredPacket",
+    "FieldSpec",
+    "HeaderCodec",
+    "LocalLabeledNode",
+    "SimulationReport",
+    "StepwiseLabeledRouter",
+    "TrafficSimulator",
+    "labeled_scalefree_codec",
+    "labeled_simple_codec",
+    "name_independent_codec",
+    "uniform_demands",
+]

@@ -1,0 +1,76 @@
+"""Minimal MSB-first bit streams used to serialize packet headers.
+
+The paper measures headers in bits; these helpers let the header codecs
+produce *actual* bit strings so header-size claims are verified by
+construction (a header that encodes to ``b`` bits costs ``b`` bits, full
+stop) rather than by formula.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BitWriter:
+    """Accumulates fixed-width unsigned integers MSB-first."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` as exactly ``width`` bits.
+
+        Raises:
+            ValueError: If the value does not fit (or is negative).
+        """
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(
+                f"value {value} does not fit in {width} bits"
+            )
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bits)
+
+    def getvalue(self) -> bytes:
+        """The accumulated bits, zero-padded to a whole byte count."""
+        out = bytearray()
+        for start in range(0, len(self._bits), 8):
+            chunk = self._bits[start : start + 8]
+            byte = 0
+            for bit in chunk:
+                byte = (byte << 1) | bit
+            byte <<= 8 - len(chunk)
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads fixed-width unsigned integers written by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, bit_length: int) -> None:
+        if bit_length > 8 * len(data):
+            raise ValueError("bit_length exceeds the data")
+        self._data = data
+        self._bit_length = bit_length
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        """Consume ``width`` bits and return them as an unsigned int."""
+        if self._pos + width > self._bit_length:
+            raise ValueError("read past the end of the stream")
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._pos // 8]
+            bit = (byte >> (7 - self._pos % 8)) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+    @property
+    def remaining(self) -> int:
+        return self._bit_length - self._pos

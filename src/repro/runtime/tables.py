@@ -1,0 +1,87 @@
+"""Binary serialization of per-node routing tables.
+
+The bit-accounting in ``table_bits`` is a *charging model*; this module
+closes the loop by actually serializing a node's state with the same
+field widths and measuring the bytes.  A
+:class:`~repro.runtime.stepwise.LocalLabeledNode` — the fully local
+per-node state of the Lemma 3.1 scheme — round-trips through
+:func:`serialize_local_node` / :func:`deserialize_local_node`, and the
+deserialized node routes identically (tested).  The encoded size tracks
+the accounted ``table_bits`` up to the small framing overhead (entry
+counts and level indices), which is itself measured and reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.bitcount import bits_for_count, bits_for_id
+from repro.core.types import NodeId
+from repro.runtime.bitstream import BitReader, BitWriter
+from repro.runtime.stepwise import LocalEntry, LocalLabeledNode
+
+
+class TableLayout:
+    """Field widths for (de)serializing local tables on an n-node,
+    ``levels``-level network."""
+
+    def __init__(self, n: int, levels: int) -> None:
+        if n < 1 or levels < 1:
+            raise ValueError("need n >= 1 and levels >= 1")
+        self.n = n
+        self.levels = levels
+        self.id_bits = bits_for_id(n)
+        self.level_bits = bits_for_count(levels)
+        self.count_bits = bits_for_count(n)
+
+
+def serialize_local_node(
+    node: LocalLabeledNode, layout: TableLayout
+) -> Tuple[bytes, int]:
+    """Encode a local node's table; returns ``(data, bit_length)``."""
+    writer = BitWriter()
+    writer.write(node.node, layout.id_bits)
+    writer.write(node.label, layout.id_bits)
+    writer.write(len(node.rings), layout.level_bits)
+    for level in sorted(node.rings):
+        entries = node.rings[level]
+        writer.write(level, layout.level_bits)
+        writer.write(len(entries), layout.count_bits)
+        for lo, hi, next_hop in entries:
+            writer.write(lo, layout.id_bits)
+            writer.write(hi, layout.id_bits)
+            writer.write(next_hop, layout.id_bits)
+    return writer.getvalue(), writer.bit_length
+
+
+def deserialize_local_node(
+    data: bytes, bit_length: int, layout: TableLayout
+) -> LocalLabeledNode:
+    """Decode a node table written by :func:`serialize_local_node`."""
+    reader = BitReader(data, bit_length)
+    node_id = reader.read(layout.id_bits)
+    label = reader.read(layout.id_bits)
+    level_count = reader.read(layout.level_bits)
+    rings: Dict[int, List[LocalEntry]] = {}
+    for _ in range(level_count):
+        level = reader.read(layout.level_bits)
+        entry_count = reader.read(layout.count_bits)
+        entries: List[LocalEntry] = []
+        for _ in range(entry_count):
+            lo = reader.read(layout.id_bits)
+            hi = reader.read(layout.id_bits)
+            next_hop = reader.read(layout.id_bits)
+            entries.append((lo, hi, next_hop))
+        rings[level] = entries
+    return LocalLabeledNode(node=node_id, label=label, rings=rings)
+
+
+def framing_overhead_bits(
+    node: LocalLabeledNode, layout: TableLayout
+) -> int:
+    """Bits spent on structure rather than payload (counts, levels)."""
+    return (
+        layout.id_bits  # the node's own id
+        + layout.level_bits  # number of levels
+        + len(node.rings) * (layout.level_bits + layout.count_bits)
+    )

@@ -1,0 +1,33 @@
+"""The paper's routing schemes plus baselines.
+
+* :class:`ShortestPathScheme` — stretch-1 full-table baseline.
+* :class:`NonScaleFreeLabeledScheme` — the underlying ``(1+ε)``-stretch
+  labeled scheme of Lemma 3.1 (space depends on ``log Δ``).
+* :class:`ScaleFreeLabeledScheme` — Theorem 1.2 (paper §4).
+* :class:`SimpleNameIndependentScheme` — Theorem 1.4 (paper §3.1-3.2).
+* :class:`ScaleFreeNameIndependentScheme` — Theorem 1.1 (paper §3.3).
+"""
+
+from repro.schemes.base import (
+    LabeledScheme,
+    NameIndependentScheme,
+    RoutingScheme,
+)
+from repro.schemes.cowen_landmark import CowenLandmarkScheme
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.shortest_path import ShortestPathScheme
+
+__all__ = [
+    "CowenLandmarkScheme",
+    "LabeledScheme",
+    "NameIndependentScheme",
+    "NonScaleFreeLabeledScheme",
+    "RoutingScheme",
+    "ScaleFreeLabeledScheme",
+    "ScaleFreeNameIndependentScheme",
+    "ShortestPathScheme",
+    "SimpleNameIndependentScheme",
+]

@@ -1,0 +1,206 @@
+"""Common interface and accounting for all routing schemes.
+
+A routing scheme (paper §1) has a centralized *preprocessing step* — the
+scheme constructor, which configures per-node routing tables — and a
+distributed *routing algorithm*, which must advance a packet using only
+the current node's table and the packet header.  Every scheme here keeps
+its per-node state in explicit table objects; :meth:`RoutingScheme.table_bits`
+audits their size in bits so measured storage can be compared against the
+paper's bounds.
+
+Two sub-interfaces mirror the paper's two models:
+
+* :class:`LabeledScheme` — the designer assigns each node a *routing
+  label*; ``route`` takes the destination's label.
+* :class:`NameIndependentScheme` — nodes carry arbitrary externally-given
+  names (a permutation of ``[n]`` by default); ``route`` takes the
+  destination's *name*.  The adversarial lower-bound experiments exercise
+  non-identity namings.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import statistics
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.params import SchemeParameters
+from repro.core.types import NodeId, PreprocessingError, RouteResult
+from repro.metric.graph_metric import GraphMetric
+
+
+class RoutingScheme(abc.ABC):
+    """Abstract base for all routing schemes."""
+
+    #: Human-readable scheme name used in experiment tables.
+    name: str = "abstract"
+
+    def __init__(self, metric: GraphMetric, params: SchemeParameters) -> None:
+        self._metric = metric
+        self._params = params
+
+    @property
+    def metric(self) -> GraphMetric:
+        return self._metric
+
+    @property
+    def params(self) -> SchemeParameters:
+        return self._params
+
+    # -- routing -------------------------------------------------------
+
+    @abc.abstractmethod
+    def route(self, source: NodeId, target: NodeId) -> RouteResult:
+        """Simulate routing a packet from ``source`` to ``target``.
+
+        ``target`` identifies the destination node; labeled schemes look
+        its label up (the sender is assumed to know it, as in the labeled
+        model), while name-independent schemes use only its *name*.
+        """
+
+    # -- storage accounting --------------------------------------------
+
+    @abc.abstractmethod
+    def table_bits(self, v: NodeId) -> int:
+        """Total routing-table size at node ``v``, in bits."""
+
+    @abc.abstractmethod
+    def header_bits(self) -> int:
+        """Maximum packet-header size used by the scheme, in bits."""
+
+    def max_table_bits(self) -> int:
+        return max(self.table_bits(v) for v in self._metric.nodes)
+
+    def avg_table_bits(self) -> float:
+        return statistics.fmean(
+            self.table_bits(v) for v in self._metric.nodes
+        )
+
+    def total_table_bits(self) -> int:
+        return sum(self.table_bits(v) for v in self._metric.nodes)
+
+    # -- evaluation -----------------------------------------------------
+
+    def stretch_guarantee(self) -> Optional[float]:
+        """The paper's stretch bound for this scheme, if any.
+
+        Returned as the leading constant only (``9`` or ``1``); the
+        ``O(ε)`` slack is applied by the experiment harness.
+        """
+        return None
+
+    def evaluate(
+        self, pairs: Optional[Iterable[Tuple[NodeId, NodeId]]] = None
+    ) -> "SchemeEvaluation":
+        """Route every pair and summarize stretch statistics.
+
+        Defaults to all ordered pairs of distinct nodes.
+        """
+        if pairs is None:
+            pairs = (
+                (u, v)
+                for u in self._metric.nodes
+                for v in self._metric.nodes
+                if u != v
+            )
+        stretches: List[float] = []
+        worst: Optional[RouteResult] = None
+        for u, v in pairs:
+            result = self.route(u, v)
+            stretches.append(result.stretch)
+            if worst is None or result.stretch > worst.stretch:
+                worst = result
+        if not stretches:
+            raise ValueError("no pairs evaluated")
+        return SchemeEvaluation(
+            scheme=self.name,
+            pair_count=len(stretches),
+            max_stretch=max(stretches),
+            mean_stretch=statistics.fmean(stretches),
+            median_stretch=statistics.median(stretches),
+            worst_pair=(worst.source, worst.target) if worst else None,
+            max_table_bits=self.max_table_bits(),
+            avg_table_bits=self.avg_table_bits(),
+            header_bits=self.header_bits(),
+        )
+
+
+@dataclasses.dataclass
+class SchemeEvaluation:
+    """Summary of routing a set of pairs under one scheme."""
+
+    scheme: str
+    pair_count: int
+    max_stretch: float
+    mean_stretch: float
+    median_stretch: float
+    worst_pair: Optional[Tuple[NodeId, NodeId]]
+    max_table_bits: int
+    avg_table_bits: float
+    header_bits: int
+
+
+class LabeledScheme(RoutingScheme):
+    """Scheme in the labeled (name-dependent) model."""
+
+    @abc.abstractmethod
+    def routing_label(self, v: NodeId) -> int:
+        """The designer-assigned routing label of ``v``."""
+
+    @abc.abstractmethod
+    def label_bits(self) -> int:
+        """Size of one routing label, in bits."""
+
+    @abc.abstractmethod
+    def route_to_label(self, source: NodeId, label: int) -> RouteResult:
+        """Route given only the destination's label (the model's API)."""
+
+    def route(self, source: NodeId, target: NodeId) -> RouteResult:
+        return self.route_to_label(source, self.routing_label(target))
+
+
+class NameIndependentScheme(RoutingScheme):
+    """Scheme in the name-independent model.
+
+    Args:
+        metric: The network.
+        params: Accuracy parameters.
+        naming: Bijection node id -> external name (identity by default).
+            The scheme may not embed information in names; it must work
+            for *any* naming, which the lower-bound experiments exploit.
+    """
+
+    def __init__(
+        self,
+        metric: GraphMetric,
+        params: SchemeParameters,
+        naming: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(metric, params)
+        if naming is None:
+            naming = list(metric.nodes)
+        naming = list(naming)
+        if sorted(naming) != list(range(metric.n)):
+            raise PreprocessingError(
+                "naming must be a permutation of 0..n-1"
+            )
+        self._name_of: List[int] = naming
+        self._node_with_name: Dict[int, NodeId] = {
+            name: v for v, name in enumerate(naming)
+        }
+
+    def name_of(self, v: NodeId) -> int:
+        """The external name of node ``v``."""
+        return self._name_of[v]
+
+    def node_with_name(self, name: int) -> NodeId:
+        """Inverse naming (test/experiment helper, not used to route)."""
+        return self._node_with_name[name]
+
+    @abc.abstractmethod
+    def route_to_name(self, source: NodeId, name: int) -> RouteResult:
+        """Route given only the destination's external name."""
+
+    def route(self, source: NodeId, target: NodeId) -> RouteResult:
+        return self.route_to_name(source, self.name_of(target))

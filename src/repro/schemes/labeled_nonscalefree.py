@@ -1,0 +1,171 @@
+"""The underlying non-scale-free ``(1+ε)``-stretch labeled scheme.
+
+This is our implementation of the scheme the paper cites as Lemma 3.1
+(Abraham, Gavoille, Goldberg, Malkhi [2, Theorem 4]): ``⌈log n⌉``-bit
+routing labels and ``(1/ε)^{O(α)} log Δ log n``-bit tables, with stretch
+``1 + O(ε)`` for ``ε <= 1/2``.
+
+Construction (paper §2 + §4.1, without the scale-free machinery):
+
+* labels are the DFS leaf enumeration ``l(v)`` of the netting tree;
+* every node ``u`` stores, for **every** level ``i ∈ [log Δ]`` (this is
+  the ``log Δ`` factor that Theorem 1.2 later removes), the ring
+  ``X_i(u) = B_u(2^i/ε) ∩ Y_i`` with each member's subtree range
+  ``Range(x, i)`` and next hop.
+
+Routing to label ``t``: at each node, find the minimal level ``i`` whose
+ring contains the (unique) ``x`` with ``t ∈ Range(x, i)`` — that ``x`` is
+``v(i)``, the level-``i`` ancestor of the destination's zooming sequence —
+and take one hop along the shortest path toward it.  As the packet
+approaches ``v(i)``, lower rings start hitting and the level only
+decreases, until level 0 pins the destination itself.  The walk's detours
+are bounded by the zooming-sequence geometry (Eqn. 2), giving stretch
+``1 + O(ε)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bitcount import bits_for_id
+from repro.core.params import SchemeParameters
+from repro.core.types import NodeId, PreprocessingError, RouteFailure, RouteResult
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.hierarchy import NetHierarchy
+from repro.schemes.base import LabeledScheme
+
+#: A ring entry: (range_lo, range_hi, distance to the net point).  The
+#: next hop toward the net point is resolved through the metric's
+#: canonical next-hop map (conceptually stored; charged in table_bits).
+RingEntry = Tuple[int, int, float]
+
+
+class NonScaleFreeLabeledScheme(LabeledScheme):
+    """``(1+ε)``-stretch labeled routing with ``log Δ``-level tables."""
+
+    name = "labeled non-scale-free (Lemma 3.1)"
+
+    def __init__(
+        self,
+        metric: GraphMetric,
+        params: SchemeParameters = SchemeParameters(),
+        hierarchy: Optional[NetHierarchy] = None,
+    ) -> None:
+        super().__init__(metric, params)
+        if params.epsilon > 0.5:
+            raise PreprocessingError(
+                "labeled schemes require epsilon <= 1/2 (Lemma 3.1)"
+            )
+        self._hierarchy = hierarchy if hierarchy is not None else NetHierarchy(metric)
+        # _rings[u][i] = {x: RingEntry} for x in X_i(u).
+        self._rings: List[Dict[int, Dict[NodeId, RingEntry]]] = [
+            {} for _ in metric.nodes
+        ]
+        self._build_rings()
+
+    def _build_rings(self) -> None:
+        metric = self._metric
+        hierarchy = self._hierarchy
+        for i in hierarchy.levels:
+            radius = (2.0**i) * self._params.ring_radius_factor
+            for x in hierarchy.net(i):
+                lo, hi = hierarchy.range_of(x, i)
+                d = metric.distances_from(x)
+                for u in metric.ball(x, radius):
+                    self._rings[u].setdefault(i, {})[x] = (
+                        lo,
+                        hi,
+                        float(d[u]),
+                    )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hierarchy(self) -> NetHierarchy:
+        return self._hierarchy
+
+    def routing_label(self, v: NodeId) -> int:
+        return self._hierarchy.label(v)
+
+    def label_bits(self) -> int:
+        return bits_for_id(self._metric.n)
+
+    def ring_entries(self, u: NodeId, i: int) -> Dict[NodeId, RingEntry]:
+        """Stored ring ``X_i(u)`` (read-only view for tests)."""
+        return dict(self._rings[u].get(i, {}))
+
+    def min_level_hit(
+        self, u: NodeId, target_label: int
+    ) -> Tuple[int, NodeId, float]:
+        """Minimal level whose ring at ``u`` covers ``target_label``.
+
+        Returns ``(i, x, d(u, x))`` — ``x`` is the destination's
+        zooming-sequence ancestor ``v(i)``.  Always succeeds: the top
+        ring contains the netting-tree root, whose range is everything.
+        """
+        for i in sorted(self._rings[u]):
+            for x, (lo, hi, dist) in self._rings[u][i].items():
+                if lo <= target_label <= hi:
+                    return i, x, dist
+        raise RouteFailure(  # pragma: no cover - top ring always hits
+            f"no ring at node {u} covers label {target_label}"
+        )
+
+    def route_to_label(self, source: NodeId, label: int) -> RouteResult:
+        if not 0 <= label < self._metric.n:
+            raise RouteFailure(f"label {label} out of range")
+        metric = self._metric
+        path = [source]
+        current = source
+        guard = 4 * metric.n * (self._hierarchy.top_level + 2)
+        while self._hierarchy.label(current) != label:
+            _, x, _ = self.min_level_hit(current, label)
+            if x == current:  # pragma: no cover - impossible for eps<=1/2
+                raise RouteFailure(
+                    f"walk stalled at {current} (epsilon too large?)"
+                )
+            current = metric.next_hop(current, x)
+            path.append(current)
+            if len(path) > guard:  # pragma: no cover - defensive
+                raise RouteFailure("labeled walk failed to converge")
+        cost = sum(
+            metric.edge_weight(a, b) for a, b in zip(path, path[1:])
+        )
+        return RouteResult(
+            source=source,
+            target=current,
+            path=path,
+            cost=cost,
+            optimal=metric.distance(source, current),
+            header_bits=self.header_bits(),
+            legs={"walk": cost},
+        )
+
+    def stretch_guarantee(self) -> float:
+        return 1.0
+
+    # ------------------------------------------------------------------
+
+    def table_breakdown(self, v: NodeId) -> "BitCounter":
+        """Per-category storage ledger for node ``v``."""
+        from repro.core.bitcount import BitCounter
+
+        ledger = BitCounter()
+        ledger.charge("rings (all levels)", self.table_bits(v))
+        return ledger
+
+    def table_bits(self, v: NodeId) -> int:
+        """Ring storage: per entry a range (2 labels) plus a next hop."""
+        unit = bits_for_id(self._metric.n)
+        entries = sum(len(ring) for ring in self._rings[v].values())
+        return entries * 3 * unit
+
+    def header_codec(self):
+        """Bit-exact codec: the packet carries only the label."""
+        from repro.runtime.headers import labeled_simple_codec
+
+        return labeled_simple_codec(self._metric)
+
+    def header_bits(self) -> int:
+        """Serialized header size (see runtime.headers)."""
+        return self.header_codec().total_bits

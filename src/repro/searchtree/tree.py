@@ -1,0 +1,323 @@
+"""Search trees on balls: Definition 3.2, Algorithms 1-2, Definition 4.2.
+
+A *search tree* ``T(c, r)`` organizes the nodes of a ball ``B_c(r)`` into
+a virtual tree of geometrically shrinking nets:
+
+* ``U_0 = {c}``; for ``1 <= i <= ⌊log(εr)⌋``, ``U_i`` is a
+  ``2^{⌊log(εr)⌋ - i}``-net of the ball minus all earlier levels.  The
+  ``{U_i}`` partition the ball, each node connects to its nearest node one
+  level up, and the root-to-leaf height is at most ``(1+ε)r`` (Eqn. 3).
+* (key, data) pairs are stored by Algorithm 1: sort pairs by key, walk the
+  tree depth-first, and hand each newly visited node the next ``⌈k/m⌉``
+  pairs.  Every node also records the key range held by its subtree and by
+  each child's subtree.
+* Algorithm 2 looks a key up by descending from the root into whichever
+  child's range contains the key, then returns to the root; the round trip
+  costs at most ``2(1+ε)r``.
+
+The *search tree II* ``T'(c, r)`` of Definition 4.2 (used by the
+scale-free labeled scheme) caps the number of net levels at ``⌈log n⌉``;
+any leftover nodes — which exist only when ``εr > n`` — are chained into
+paths hanging off their nearest bottom-level net point, with virtual edge
+weight ``2εr/n`` (Lemma 4.3 realizes these edges at that cost).  Pass
+``level_cap=metric.log_n`` to build this variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.bitcount import bits_for_id
+from repro.core.types import NodeId, PreprocessingError
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.rnet import greedy_rnet
+
+
+@dataclasses.dataclass
+class SearchOutcome:
+    """Result of one Algorithm-2 lookup.
+
+    Attributes:
+        found: Whether the key was present.
+        data: The stored datum (``None`` when not found).
+        trail: Nodes visited, starting and ending at the tree root
+            (root, ..., deepest, ..., root).
+        cost: Total distance travelled: shortest-path distance summed
+            over consecutive trail entries.
+    """
+
+    found: bool
+    data: Optional[object]
+    trail: List[NodeId]
+    cost: float
+
+
+class SearchTree:
+    """A search tree over the ball ``B_c(r)`` (or an explicit node set).
+
+    Args:
+        metric: Ambient metric.
+        center: Ball center ``c`` (the tree root).
+        radius: Ball radius ``r``.
+        epsilon: The scheme's ``ε`` (controls the level count).
+        members: Node set to organize; defaults to ``B_c(r)``.  Must
+            contain ``center``.
+        level_cap: If given, build the Definition 4.2 variant with at most
+            this many net levels plus Voronoi chains underneath.
+    """
+
+    def __init__(
+        self,
+        metric: GraphMetric,
+        center: NodeId,
+        radius: float,
+        epsilon: float,
+        members: Optional[Sequence[NodeId]] = None,
+        level_cap: Optional[int] = None,
+    ) -> None:
+        if radius < 0:
+            raise PreprocessingError(f"negative ball radius {radius}")
+        self._metric = metric
+        self._center = center
+        self._radius = radius
+        self._epsilon = epsilon
+        if members is None:
+            members = metric.ball(center, radius)
+        self._members = sorted(set(members))
+        if center not in set(self._members):
+            raise PreprocessingError("center must belong to the ball")
+
+        self._parent: Dict[NodeId, NodeId] = {}
+        self._children: Dict[NodeId, List[NodeId]] = {center: []}
+        self._chain_edges = 0
+        self._build_levels(level_cap)
+
+        # Populated by store().
+        self._pairs_at: Dict[NodeId, Dict[Hashable, object]] = {}
+        self._subtree_range: Dict[NodeId, Tuple[Hashable, Hashable]] = {}
+        self._stored = False
+
+    # ------------------------------------------------------------------
+    # Construction (Definitions 3.2 / 4.2)
+    # ------------------------------------------------------------------
+
+    def _build_levels(self, level_cap: Optional[int]) -> None:
+        metric = self._metric
+        scaled = self._epsilon * self._radius
+        full_levels = int(math.floor(math.log2(scaled))) if scaled >= 2 else 0
+        levels = full_levels
+        if level_cap is not None:
+            levels = min(levels, level_cap)
+
+        remaining = [v for v in self._members if v != self._center]
+        previous = [self._center]
+        for i in range(1, levels + 1):
+            net_radius = float(2 ** (full_levels - i))
+            tier = greedy_rnet(metric, net_radius, universe=remaining)
+            self._attach_tier(tier, previous)
+            remaining = [v for v in remaining if v not in set(tier)]
+            previous = tier
+            if not remaining:
+                break
+
+        if remaining and levels == full_levels:
+            # Uncapped trees always bottom out at a 1-net (= everything);
+            # only degenerate radii (εr < 2) leave nodes here.  Attach
+            # them directly to the root, as a one-level tree.
+            self._attach_tier(remaining, previous)
+        elif remaining:
+            self._attach_chains(remaining, previous)
+
+    def _attach_tier(
+        self, tier: Sequence[NodeId], previous: Sequence[NodeId]
+    ) -> None:
+        for v in sorted(tier):
+            parent = self._metric.nearest_in(v, list(previous))
+            self._parent[v] = parent
+            self._children.setdefault(parent, []).append(v)
+            self._children.setdefault(v, [])
+
+    def _attach_chains(
+        self, leftover: Sequence[NodeId], sites: Sequence[NodeId]
+    ) -> None:
+        """Definition 4.2 (ii): chain leftover nodes under Voronoi sites."""
+        groups: Dict[NodeId, List[NodeId]] = {}
+        for v in sorted(leftover):
+            site = self._metric.nearest_in(v, list(sites))
+            groups.setdefault(site, []).append(v)
+        for site, chain in groups.items():
+            previous = site
+            for v in chain:
+                self._parent[v] = previous
+                self._children.setdefault(previous, []).append(v)
+                self._children.setdefault(v, [])
+                previous = v
+                self._chain_edges += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> NodeId:
+        return self._center
+
+    @property
+    def radius(self) -> float:
+        return self._radius
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """All tree nodes (= the ball members)."""
+        return list(self._members)
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    @property
+    def chain_edge_count(self) -> int:
+        """Number of Definition 4.2 chain edges (0 for plain trees)."""
+        return self._chain_edges
+
+    def parent_of(self, v: NodeId) -> Optional[NodeId]:
+        return self._parent.get(v)
+
+    def children_of(self, v: NodeId) -> List[NodeId]:
+        return list(self._children.get(v, []))
+
+    def depth_cost(self, v: NodeId) -> float:
+        """Distance from the root to ``v`` along tree edges."""
+        cost = 0.0
+        while v != self._center:
+            parent = self._parent[v]
+            cost += self._metric.distance(parent, v)
+            v = parent
+        return cost
+
+    def height(self) -> float:
+        """Largest root-to-node distance along tree edges.
+
+        Bounded by ``(1 + O(ε)) r`` (paper Eqn. 3 / Def. 4.2 remark).
+        """
+        return max(self.depth_cost(v) for v in self._members)
+
+    def max_degree(self) -> int:
+        return max(len(kids) for kids in self._children.values())
+
+    def _dfs_preorder(self) -> List[NodeId]:
+        order: List[NodeId] = []
+        stack = [self._center]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            for child in reversed(self._children.get(v, [])):
+                stack.append(child)
+        return order
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: store (key, data) pairs
+    # ------------------------------------------------------------------
+
+    def store(self, pairs: Dict[Hashable, object]) -> None:
+        """Distribute ``pairs`` over the tree (Algorithm 1).
+
+        Keys must be totally ordered (int or str).  Each node receives a
+        contiguous chunk of ``⌈k/m⌉`` sorted pairs in depth-first visit
+        order, then subtree key ranges are recorded bottom-up.
+        """
+        order = self._dfs_preorder()
+        sorted_keys = sorted(pairs)
+        chunk = max(1, math.ceil(len(sorted_keys) / len(order)))
+        self._pairs_at = {}
+        cursor = 0
+        for v in order:
+            take = sorted_keys[cursor : cursor + chunk]
+            cursor += len(take)
+            self._pairs_at[v] = {key: pairs[key] for key in take}
+        if cursor < len(sorted_keys):  # pragma: no cover - chunk >= k/m
+            raise PreprocessingError("store() failed to place all pairs")
+
+        self._subtree_range = {}
+        for v in reversed(order):
+            keys: List[Hashable] = list(self._pairs_at.get(v, ()))
+            bounds = [
+                self._subtree_range[c]
+                for c in self._children.get(v, [])
+                if c in self._subtree_range
+            ]
+            lows = [b[0] for b in bounds] + keys
+            highs = [b[1] for b in bounds] + keys
+            if lows:
+                self._subtree_range[v] = (min(lows), max(highs))
+        self._stored = True
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: search
+    # ------------------------------------------------------------------
+
+    def search(self, key: Hashable) -> SearchOutcome:
+        """Look up ``key`` (Algorithm 2): descend by range, round trip."""
+        if not self._stored:
+            raise PreprocessingError("search() before store()")
+        trail = [self._center]
+        u = self._center
+        descended = True
+        while descended:
+            descended = False
+            for child in self._children.get(u, []):
+                bounds = self._subtree_range.get(child)
+                if bounds is not None and bounds[0] <= key <= bounds[1]:
+                    u = child
+                    trail.append(u)
+                    descended = True
+                    break
+        found = key in self._pairs_at.get(u, {})
+        data = self._pairs_at[u].get(key) if found else None
+        back = list(reversed(trail[:-1]))
+        trail = trail + back
+        cost = sum(
+            self._metric.distance(a, b) for a, b in zip(trail, trail[1:])
+        )
+        return SearchOutcome(found=found, data=data, trail=trail, cost=cost)
+
+    def lookup_everywhere(self, key: Hashable) -> bool:
+        """Whether ``key`` is stored anywhere in the tree (test helper)."""
+        return any(key in held for held in self._pairs_at.values())
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+
+    def storage_bits(self, key_bits: int, data_bits: int) -> Dict[NodeId, int]:
+        """Bits each tree node must keep for this tree.
+
+        Per node: one parent link label + one link label per child
+        (underlying-scheme labels, ``⌈log n⌉`` bits each), its own subtree
+        range and each child's range (two keys each), and its stored
+        pairs (key + data each).
+        """
+        if not self._stored:
+            raise PreprocessingError("storage_bits() before store()")
+        label_bits = bits_for_id(self._metric.n)
+        out: Dict[NodeId, int] = {}
+        for v in self._members:
+            links = len(self._children.get(v, [])) + (
+                1 if v != self._center else 0
+            )
+            ranges = 1 + len(self._children.get(v, []))
+            pairs = len(self._pairs_at.get(v, {}))
+            out[v] = (
+                links * label_bits
+                + ranges * 2 * key_bits
+                + pairs * (key_bits + data_bits)
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchTree(center={self._center}, r={self._radius:.3f}, "
+            f"size={self.size})"
+        )

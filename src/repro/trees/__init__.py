@@ -1,0 +1,12 @@
+"""Tree-routing substrate (Lemma 4.1) and Voronoi shortest-path trees."""
+
+from repro.trees.heavy_path import HeavyPathRouter
+from repro.trees.spt import ShortestPathTree, voronoi_partition
+from repro.trees.tree_router import TreeRouter
+
+__all__ = [
+    "HeavyPathRouter",
+    "ShortestPathTree",
+    "TreeRouter",
+    "voronoi_partition",
+]

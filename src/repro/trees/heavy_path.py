@@ -1,0 +1,224 @@
+"""Heavy-path tree routing — the Fraigniaud–Gavoille flavor of Lemma 4.1.
+
+The DFS-interval router (:class:`~repro.trees.tree_router.TreeRouter`)
+stores one interval per child, i.e. ``O(deg(v) log n)`` bits at a node.
+The schemes of [14, 29] cited in Lemma 4.1 avoid the degree factor by
+moving the child-selection information *into the label*.  This module
+implements that idea with a heavy-path decomposition:
+
+* Every non-leaf node has one **heavy** child (largest subtree, ties by
+  least id); maximal heavy chains form **heavy paths**.  A root-to-node
+  path descends through at most ``⌊log₂ n⌋`` light edges.
+* ``label(v)`` is the descent program: for each traversed heavy path,
+  how many steps to walk down it and which light child to exit into,
+  ending with the number of steps on v's own path.  At most ``log n``
+  entries of ``O(log n)`` bits each.
+* A node stores only its own label, its index on its heavy path, its
+  heavy child, and its parent — ``O(log² n)`` bits regardless of degree.
+  Routing compares the target label with the local label: follow the
+  common prefix, descend (heavy child or the named light child), or
+  climb to the parent.
+
+Routing is always along the unique tree path, hence optimal, like the
+interval router; the two are interchangeable substrates for the
+Theorem 1.2 scheme (see the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bitcount import bits_for_count, bits_for_id
+from repro.core.types import NodeId, RouteFailure
+from repro.trees.spt import ShortestPathTree
+
+#: One label entry: (steps down the current heavy path, light child to
+#: exit into).  The final entry uses ``exit_child = -1`` ("stop here").
+LabelEntry = Tuple[int, int]
+
+
+class HeavyPathRouter:
+    """Labeled tree routing with degree-independent node storage."""
+
+    def __init__(self, tree: ShortestPathTree) -> None:
+        self._tree = tree
+        self._subtree_size: Dict[NodeId, int] = {}
+        self._heavy_child: Dict[NodeId, Optional[NodeId]] = {}
+        self._path_index: Dict[NodeId, int] = {}
+        self._labels: Dict[NodeId, Tuple[LabelEntry, ...]] = {}
+        self._compute_sizes()
+        self._compute_paths_and_labels()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _compute_sizes(self) -> None:
+        order: List[NodeId] = []
+        stack = [self._tree.root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(self._tree.children_of(v))
+        for v in reversed(order):
+            kids = self._tree.children_of(v)
+            self._subtree_size[v] = 1 + sum(
+                self._subtree_size[c] for c in kids
+            )
+            if kids:
+                self._heavy_child[v] = max(
+                    kids, key=lambda c: (self._subtree_size[c], -c)
+                )
+            else:
+                self._heavy_child[v] = None
+
+    def _compute_paths_and_labels(self) -> None:
+        # Walk from the root; carry (prefix, steps-on-current-path).
+        root = self._tree.root
+        stack: List[Tuple[NodeId, Tuple[LabelEntry, ...], int]] = [
+            (root, (), 0)
+        ]
+        while stack:
+            v, prefix, steps = stack.pop()
+            self._path_index[v] = steps
+            self._labels[v] = prefix + ((steps, -1),)
+            heavy = self._heavy_child[v]
+            for child in self._tree.children_of(v):
+                if child == heavy:
+                    stack.append((child, prefix, steps + 1))
+                else:
+                    stack.append(
+                        (child, prefix + ((steps, child),), 0)
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def tree(self) -> ShortestPathTree:
+        return self._tree
+
+    @property
+    def size(self) -> int:
+        return len(self._labels)
+
+    def label(self, v: NodeId) -> Tuple[LabelEntry, ...]:
+        if v not in self._labels:
+            raise KeyError(f"{v} is not in this tree")
+        return self._labels[v]
+
+    def node_with_label(self, label: Sequence[LabelEntry]) -> NodeId:
+        """Inverse lookup (test helper; linear)."""
+        wanted = tuple(label)
+        for v, lab in self._labels.items():
+            if lab == wanted:
+                return v
+        raise KeyError(label)
+
+    def label_bits(self, v: Optional[NodeId] = None) -> int:
+        """Measured label size: entries x (depth + child id) bits.
+
+        With no argument, returns the tree-wide maximum (the interface
+        shared with :class:`~repro.trees.tree_router.TreeRouter`).
+        """
+        if v is None:
+            return self.max_label_bits()
+        depth_bits = bits_for_count(self.size)
+        id_bits = bits_for_id(self._tree.metric.n)
+        return len(self._labels[v]) * (depth_bits + id_bits)
+
+    def max_label_bits(self) -> int:
+        return max(self.label_bits(v) for v in self._labels)
+
+    def light_depth(self, v: NodeId) -> int:
+        """Number of light edges on the root-to-v path (≤ log2 n)."""
+        return len(self._labels[v]) - 1
+
+    def storage_bits(self, v: NodeId) -> int:
+        """Own label + parent id + heavy-child id + path index.
+
+        Crucially degree-independent, unlike the interval router.
+        """
+        id_bits = bits_for_id(self._tree.metric.n)
+        depth_bits = bits_for_count(self.size)
+        return self.label_bits(v) + 2 * id_bits + depth_bits
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def next_hop(self, v: NodeId, target: Sequence[LabelEntry]) -> NodeId:
+        """One step from ``v`` toward the node labelled ``target``.
+
+        Uses only v's local state (its label, path index, heavy child,
+        parent) plus the header.
+        """
+        target = tuple(target)
+        own = self._labels[v]
+        if own == target:
+            return v
+        # Shared descent prefix: all full (steps, light-child) hops that
+        # match, i.e. the longest common proper prefix.
+        common = 0
+        while (
+            common < len(own) - 1
+            and common < len(target) - 1
+            and own[common] == target[common]
+        ):
+            common += 1
+        on_target_branch = own[:common] == target[:common] and (
+            len(own) - 1 == common
+        )
+        if on_target_branch:
+            steps, exit_child = target[common]
+            index = self._path_index[v]
+            if index < steps:
+                heavy = self._heavy_child[v]
+                if heavy is None:  # pragma: no cover - label mismatch
+                    raise RouteFailure(f"label walks past leaf {v}")
+                return heavy
+            if index == steps:
+                if exit_child == -1:
+                    return v  # own == target handled above; defensive
+                return exit_child
+        # Wrong branch or overshoot: climb.
+        if v == self._tree.root:  # pragma: no cover - defensive
+            raise RouteFailure("root cannot climb; malformed label")
+        return self._tree.parent_of(v)
+
+    def route(
+        self, source: NodeId, target: Sequence[LabelEntry]
+    ) -> List[NodeId]:
+        if source not in self._labels:
+            raise RouteFailure(f"source {source} not in tree")
+        path = [source]
+        guard = 2 * self.size + 2
+        target = tuple(target)
+        while self._labels[path[-1]] != target:
+            path.append(self.next_hop(path[-1], target))
+            if len(path) > guard:  # pragma: no cover - defensive
+                raise RouteFailure("heavy-path routing failed to converge")
+        return path
+
+    def route_cost(
+        self, source: NodeId, target: Sequence[LabelEntry]
+    ) -> float:
+        path = self.route(source, target)
+        metric = self._tree.metric
+        return sum(
+            metric.edge_weight(a, b) for a, b in zip(path, path[1:])
+        )
+
+    def verify_optimal(self) -> bool:
+        """Route cost equals tree distance for all pairs (small trees)."""
+        for u in self._labels:
+            for v in self._labels:
+                cost = self.route_cost(u, self._labels[v])
+                want = self._tree.tree_distance(u, v)
+                if abs(cost - want) > 1e-9 * (1.0 + want):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"HeavyPathRouter(root={self._tree.root}, size={self.size})"

@@ -1,0 +1,156 @@
+"""Compact routing on trees — the substrate behind paper Lemma 4.1.
+
+The paper invokes the tree-routing schemes of Fraigniaud–Gavoille and
+Thorup–Zwick ([14, 29]): optimal routing on a weighted tree with
+``O(log²n / log log n)``-bit labels, headers, and per-node storage.  We
+implement the classic DFS-interval scheme those results refine:
+
+* every tree node gets a label = its DFS entry time ``tin`` (``⌈log m⌉``
+  bits for an ``m``-node tree);
+* every node stores its own ``[tin, tout]`` interval, its parent edge,
+  and one ``(child, [tin, tout])`` entry per child;
+* a packet for label ``t`` descends into the child whose interval
+  contains ``t`` and otherwise climbs to the parent — always along the
+  unique (hence optimal) tree path.
+
+Storage is ``O((deg(v)+1) log m)`` bits per node instead of the
+``O(log²m/log log m)`` worst case of [14, 29]; on the bounded-degree
+networks evaluated here this is at most the cited bound.  The routing
+behaviour (optimal tree paths) is identical, so stretch results are
+unaffected.  See DESIGN.md, faithfulness notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bitcount import bits_for_id
+from repro.core.types import NodeId, PreprocessingError, RouteFailure
+from repro.trees.spt import ShortestPathTree
+
+
+class TreeRouter:
+    """Labeled routing over a :class:`ShortestPathTree`.
+
+    Labels are DFS entry times (children visited in ascending node-id
+    order), so they are integers in ``[0, m)`` for an ``m``-node tree.
+    """
+
+    def __init__(self, tree: ShortestPathTree) -> None:
+        self._tree = tree
+        self._tin: Dict[NodeId, int] = {}
+        self._tout: Dict[NodeId, int] = {}
+        self._by_tin: Dict[int, NodeId] = {}
+        self._dfs_number()
+
+    def _dfs_number(self) -> None:
+        counter = 0
+        stack: List[Tuple[NodeId, bool]] = [(self._tree.root, False)]
+        while stack:
+            v, done = stack.pop()
+            if done:
+                self._tout[v] = counter - 1
+                continue
+            self._tin[v] = counter
+            self._by_tin[counter] = v
+            counter += 1
+            stack.append((v, True))
+            for child in reversed(self._tree.children_of(v)):
+                stack.append((child, False))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def tree(self) -> ShortestPathTree:
+        return self._tree
+
+    @property
+    def size(self) -> int:
+        return len(self._tin)
+
+    def label(self, v: NodeId) -> int:
+        """The local routing label ``l(v; tree)`` — v's DFS entry time."""
+        if v not in self._tin:
+            raise KeyError(f"{v} is not in this tree")
+        return self._tin[v]
+
+    def node_with_label(self, label: int) -> NodeId:
+        return self._by_tin[label]
+
+    def label_bits(self) -> int:
+        """Bits per label: ``⌈log m⌉`` for this m-node tree."""
+        return bits_for_id(self.size)
+
+    def next_hop(self, v: NodeId, target_label: int) -> NodeId:
+        """One routing step from ``v`` toward the node labelled target.
+
+        Uses only v's local state: its interval, its parent, and its
+        children's intervals.
+        """
+        if not 0 <= target_label < self.size:
+            raise RouteFailure(
+                f"label {target_label} outside tree of size {self.size}"
+            )
+        if self._tin[v] == target_label:
+            return v
+        if self._tin[v] < target_label <= self._tout[v]:
+            for child in self._tree.children_of(v):
+                if self._tin[child] <= target_label <= self._tout[child]:
+                    return child
+            raise RouteFailure(  # pragma: no cover - intervals partition
+                f"no child of {v} covers label {target_label}"
+            )
+        return self._tree.parent_of(v)
+
+    def route(self, source: NodeId, target_label: int) -> List[NodeId]:
+        """Full hop-by-hop path from ``source`` to the labelled node."""
+        if source not in self._tin:
+            raise RouteFailure(f"source {source} not in tree")
+        path = [source]
+        guard = 2 * self.size + 2
+        while self._tin[path[-1]] != target_label:
+            path.append(self.next_hop(path[-1], target_label))
+            if len(path) > guard:  # pragma: no cover - defensive
+                raise RouteFailure("tree routing failed to converge")
+        return path
+
+    def route_cost(self, source: NodeId, target_label: int) -> float:
+        path = self.route(source, target_label)
+        metric = self._tree.metric
+        return sum(
+            metric.edge_weight(a, b) for a, b in zip(path, path[1:])
+        )
+
+    # ------------------------------------------------------------------
+
+    def storage_bits(self, v: NodeId) -> int:
+        """Bits node ``v`` keeps for this tree's routing.
+
+        Own interval (2 labels), parent id (if any), and per child its id
+        plus interval (3 labels each).
+        """
+        if v not in self._tin:
+            raise KeyError(f"{v} is not in this tree")
+        unit = self.label_bits()
+        children = len(self._tree.children_of(v))
+        parent = 0 if v == self._tree.root else 1
+        node_id_bits = bits_for_id(self._tree.metric.n)
+        return 2 * unit + parent * node_id_bits + children * (
+            node_id_bits + 2 * unit
+        )
+
+    def verify_optimal(self) -> bool:
+        """Routing cost equals the tree-path distance for all pairs.
+
+        Quadratic; intended for tests on small trees.
+        """
+        for u in self._tin:
+            for v in self._tin:
+                cost = self.route_cost(u, self._tin[v])
+                want = self._tree.tree_distance(u, v)
+                if abs(cost - want) > 1e-9 * (1.0 + want):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"TreeRouter(root={self._tree.root}, size={self.size})"

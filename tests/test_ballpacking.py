@@ -1,0 +1,131 @@
+"""Tests for the Packing Lemma construction (Lemma 2.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import path_graph
+from repro.metric.graph_metric import GraphMetric
+from repro.packing.ballpacking import BallPacking
+
+from tests.test_rnet import random_connected_graph
+
+
+class TestPackingStructure:
+    def test_level_count_is_log_n_plus_one(self, grid_packing, grid_metric):
+        assert grid_packing.top_level == grid_metric.log_n
+        assert len(list(grid_packing.levels)) == grid_metric.log_n + 1
+
+    def test_property_1_exact_sizes(self, grid_packing, grid_metric):
+        """Lemma 2.3 (1): every ball in B_j has exactly 2^j members."""
+        for j in grid_packing.levels:
+            for ball in grid_packing.packing(j):
+                assert ball.size == min(grid_metric.n, 1 << j)
+
+    def test_balls_disjoint_within_level(self, grid_packing):
+        for j in grid_packing.levels:
+            seen = set()
+            for ball in grid_packing.packing(j):
+                assert not (ball.members & seen)
+                seen |= ball.members
+
+    def test_level_zero_covers_everything(self, grid_packing, grid_metric):
+        covered = set()
+        for ball in grid_packing.packing(0):
+            covered |= ball.members
+        assert covered == set(grid_metric.nodes)
+
+    def test_top_level_single_ball(self, grid_packing, grid_metric):
+        top = grid_packing.packing(grid_packing.top_level)
+        assert len(top) == 1
+        assert top[0].members == frozenset(grid_metric.nodes)
+
+    def test_greedy_order_by_radius(self, grid_packing):
+        for j in grid_packing.levels:
+            radii = [b.radius for b in grid_packing.packing(j)]
+            assert radii == sorted(radii)
+
+    def test_members_within_radius(self, grid_packing, grid_metric):
+        for j in grid_packing.levels:
+            for ball in grid_packing.packing(j):
+                for v in ball.members:
+                    assert grid_metric.distance(
+                        ball.center, v
+                    ) <= ball.radius + 1e-9
+
+    def test_maximality(self, grid_packing, grid_metric):
+        """No node's own size-ball is disjoint from all packed balls."""
+        for j in grid_packing.levels:
+            size = min(grid_metric.n, 1 << j)
+            taken = set()
+            for ball in grid_packing.packing(j):
+                taken |= ball.members
+            for u in grid_metric.nodes:
+                own = set(grid_metric.size_ball(u, size))
+                assert own & taken
+
+
+class TestProperty2:
+    def test_nearby_ball_bounds(self, any_metric):
+        """Lemma 2.3 (2): r_c(j) <= r_u(j) and d(u,c) <= 2 r_u(j)."""
+        packing = BallPacking(any_metric)
+        for j in packing.levels:
+            for u in any_metric.nodes:
+                ball = packing.nearby_ball(u, j)
+                r = any_metric.r_u(u, j)
+                assert ball.radius <= r + 1e-9
+                assert any_metric.distance(u, ball.center) <= 2 * r + 1e-9
+
+    @given(graph=random_connected_graph(), j=st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_2_random_graphs(self, graph, j):
+        metric = GraphMetric(graph)
+        packing = BallPacking(metric)
+        j = min(j, packing.top_level)
+        for u in metric.nodes:
+            ball = packing.nearby_ball(u, j)
+            r = metric.r_u(u, j)
+            assert ball.radius <= r + 1e-9
+            assert metric.distance(u, ball.center) <= 2 * r + 1e-9
+
+
+class TestLookups:
+    def test_ball_containing_is_consistent(self, grid_packing, grid_metric):
+        for j in grid_packing.levels:
+            for ball in grid_packing.packing(j):
+                for v in ball.members:
+                    assert grid_packing.ball_containing(v, j) is ball
+
+    def test_ball_containing_none_for_uncovered(self):
+        metric = GraphMetric(path_graph(6))
+        packing = BallPacking(metric)
+        top = packing.top_level
+        for j in packing.levels:
+            covered = set()
+            for ball in packing.packing(j):
+                covered |= ball.members
+            for v in metric.nodes:
+                got = packing.ball_containing(v, j)
+                assert (got is not None) == (v in covered)
+
+    def test_voronoi_center_is_a_center(self, grid_packing, grid_metric):
+        for j in grid_packing.levels:
+            centers = set(grid_packing.centers(j))
+            for u in range(0, grid_metric.n, 5):
+                assert grid_packing.voronoi_center(u, j) in centers
+
+    def test_voronoi_center_is_nearest(self, grid_packing, grid_metric):
+        for j in grid_packing.levels:
+            centers = grid_packing.centers(j)
+            for u in range(0, grid_metric.n, 7):
+                c = grid_packing.voronoi_center(u, j)
+                best = min(
+                    grid_metric.distance(u, x) for x in centers
+                )
+                assert grid_metric.distance(u, c) == pytest.approx(best)
+
+    def test_centers_listed_in_selection_order(self, grid_packing):
+        for j in grid_packing.levels:
+            assert grid_packing.centers(j) == [
+                b.center for b in grid_packing.packing(j)
+            ]

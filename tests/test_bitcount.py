@@ -1,0 +1,91 @@
+"""Unit tests for bit accounting (repro.core.bitcount)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitcount import (
+    BitCounter,
+    bits_for_count,
+    bits_for_distance,
+    bits_for_id,
+)
+
+
+class TestBitsForId:
+    def test_singleton_universe_costs_one_bit(self):
+        assert bits_for_id(1) == 1
+
+    def test_degenerate_universe_costs_one_bit(self):
+        assert bits_for_id(0) == 1
+
+    def test_power_of_two(self):
+        assert bits_for_id(256) == 8
+
+    def test_rounds_up(self):
+        assert bits_for_id(257) == 9
+
+    def test_two_items_one_bit(self):
+        assert bits_for_id(2) == 1
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_universe_fits(self, n):
+        bits = bits_for_id(n)
+        assert 2**bits >= n
+        assert 2 ** (bits - 1) < n
+
+
+class TestBitsForCount:
+    def test_zero_max(self):
+        assert bits_for_count(0) == 1
+
+    def test_matches_id_of_plus_one(self):
+        assert bits_for_count(7) == bits_for_id(8) == 3
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_range_fits(self, m):
+        assert 2 ** bits_for_count(m) >= m + 1
+
+
+class TestBitsForDistance:
+    def test_matches_log_n(self):
+        assert bits_for_distance(1024) == 10
+
+    def test_minimum_one_bit(self):
+        assert bits_for_distance(1) >= 1
+
+
+class TestBitCounter:
+    def test_empty_total_zero(self):
+        assert BitCounter().total() == 0
+
+    def test_charge_accumulates(self):
+        ledger = BitCounter()
+        ledger.charge("a", 10)
+        ledger.charge("a", 5)
+        assert ledger.total() == 15
+        assert ledger.breakdown() == {"a": 15}
+
+    def test_categories_are_separate(self):
+        ledger = BitCounter()
+        ledger.charge("a", 1)
+        ledger.charge("b", 2)
+        assert ledger.breakdown() == {"a": 1, "b": 2}
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            BitCounter().charge("a", -1)
+
+    def test_merge(self):
+        lhs, rhs = BitCounter(), BitCounter()
+        lhs.charge("a", 1)
+        rhs.charge("a", 2)
+        rhs.charge("b", 3)
+        lhs.merge(rhs)
+        assert lhs.breakdown() == {"a": 3, "b": 3}
+
+    def test_breakdown_is_copy(self):
+        ledger = BitCounter()
+        ledger.charge("a", 1)
+        ledger.breakdown()["a"] = 999
+        assert ledger.total() == 1

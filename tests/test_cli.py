@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for name in COMMANDS:
+            assert name in text
+
+    def test_epsilon_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--epsilon", "0.25"])
+        assert args.epsilon == 0.25
+
+    def test_report_has_output_option(self):
+        parser = build_parser()
+        args = parser.parse_args(["report", "--output", "x.md"])
+        assert args.output == "x.md"
+
+
+class TestMain:
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "scalefree" in capsys.readouterr().out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--pairs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 (measured)" in out
+        assert "Theorem 1.1" in out
+
+    def test_structures_runs(self, capsys):
+        assert main(["structures", "--pairs", "10"]) == 0
+        assert "Substrate audit" in capsys.readouterr().out
+
+    def test_storage_audit_runs(self, capsys):
+        assert main(["storage-audit", "--pairs", "10"]) == 0
+        assert "Storage audit" in capsys.readouterr().out
+
+    def test_relaxed_runs(self, capsys):
+        assert main(["relaxed", "--pairs", "20"]) == 0
+        assert "Relaxed guarantees" in capsys.readouterr().out
+
+    def test_congestion_runs(self, capsys):
+        assert main(["congestion", "--pairs", "30"]) == 0
+        assert "Congestion" in capsys.readouterr().out
+
+    def test_related_work_runs(self, capsys):
+        assert main(["related-work", "--pairs", "20"]) == 0
+        assert "Related work" in capsys.readouterr().out
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1", "--pairs", "20"]) == 0
+        assert "route anatomy" in capsys.readouterr().out
+
+    def test_scalefree_runs(self, capsys):
+        assert main(["scalefree", "--pairs", "10"]) == 0
+        assert "Scale-free ablation" in capsys.readouterr().out
+
+    def test_storage_scaling_runs(self, capsys):
+        assert main(["storage-scaling", "--pairs", "10"]) == 0
+        assert "Storage scaling" in capsys.readouterr().out
+
+    def test_report_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "EXP.md"
+        assert main(
+            ["report", "--pairs", "20", "--output", str(target)]
+        ) == 0
+        content = target.read_text()
+        assert "E1 — Table 1" in content
+        assert "E10" in content

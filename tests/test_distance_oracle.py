@@ -1,0 +1,119 @@
+"""Tests for the (1+eps)-approximate distance-labeling oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.params import SchemeParameters
+from repro.core.types import PreprocessingError
+from repro.metric.graph_metric import GraphMetric
+from repro.oracle.distance_oracle import DistanceOracle
+
+from tests.test_rnet import random_connected_graph
+
+PARAMS = SchemeParameters(epsilon=0.25)
+
+
+class TestConstruction:
+    def test_large_epsilon_rejected(self, grid_metric):
+        with pytest.raises(PreprocessingError):
+            DistanceOracle(grid_metric, SchemeParameters(epsilon=0.75))
+
+    def test_labels_contain_all_levels_of_rings(self, grid_metric):
+        oracle = DistanceOracle(grid_metric, PARAMS)
+        hierarchy = oracle.hierarchy
+        for u in (0, 17, 35):
+            label = oracle.label(u)
+            for i in hierarchy.levels:
+                expected = hierarchy.ring(u, i, PARAMS.epsilon)
+                assert sorted(label.get(i, {})) == sorted(expected)
+
+    def test_label_distances_exact(self, grid_metric):
+        oracle = DistanceOracle(grid_metric, PARAMS)
+        for u in (0, 20):
+            for i, ring in oracle.label(u).items():
+                for x, d in ring.items():
+                    assert d == pytest.approx(grid_metric.distance(u, x))
+
+    def test_label_bits_positive(self, grid_metric):
+        oracle = DistanceOracle(grid_metric, PARAMS)
+        assert oracle.max_label_bits() > 0
+        for u in grid_metric.nodes:
+            assert oracle.label_bits(u) > 0
+
+
+class TestEstimates:
+    def test_self_distance_zero(self, grid_metric):
+        oracle = DistanceOracle(grid_metric, PARAMS)
+        assert oracle.estimate(4, 4) == 0.0
+
+    def test_estimate_never_underestimates(self, grid_metric):
+        oracle = DistanceOracle(grid_metric, PARAMS)
+        for u in range(0, grid_metric.n, 4):
+            for v in range(0, grid_metric.n, 3):
+                if u != v:
+                    assert oracle.estimate(u, v) >= (
+                        grid_metric.distance(u, v) - 1e-9
+                    )
+
+    def test_estimate_within_guarantee(self, any_metric):
+        oracle = DistanceOracle(any_metric, PARAMS)
+        bound = oracle.guarantee()
+        pairs = [
+            (u, v)
+            for u in range(0, any_metric.n, 3)
+            for v in range(0, any_metric.n, 4)
+            if u != v
+        ]
+        worst, mean = oracle.verify(pairs)
+        assert worst <= bound + 1e-9
+        assert mean <= worst
+
+    def test_close_pairs_estimated_exactly(self, grid_metric):
+        """Within 1/eps, the destination is in the level-0 ring."""
+        oracle = DistanceOracle(grid_metric, PARAMS)
+        for u in range(0, grid_metric.n, 5):
+            for v in grid_metric.ball(u, 1.0 / PARAMS.epsilon):
+                if u != v:
+                    assert oracle.estimate(u, v) == pytest.approx(
+                        grid_metric.distance(u, v)
+                    )
+
+    def test_estimate_from_labels_is_static(self, grid_metric):
+        oracle = DistanceOracle(grid_metric, PARAMS)
+        u, v = 0, grid_metric.n - 1
+        est = DistanceOracle.estimate_from_labels(
+            oracle.label(u), oracle.label(v)
+        )
+        assert est == pytest.approx(oracle.estimate(u, v))
+
+    def test_guarantee_formula(self):
+        oracle_params = SchemeParameters(epsilon=0.25)
+        expected = 1.0 + 8.0 / (4.0 - 2.0)
+        assert DistanceOracle(
+            GraphMetricForTest(), oracle_params
+        ).guarantee() == pytest.approx(expected)
+
+    def test_smaller_epsilon_tightens_estimates(self, grid_metric):
+        loose = DistanceOracle(grid_metric, SchemeParameters(epsilon=0.4))
+        tight = DistanceOracle(grid_metric, SchemeParameters(epsilon=0.125))
+        pairs = [(0, 35), (5, 30), (17, 18)]
+        assert tight.verify(pairs)[0] <= loose.verify(pairs)[0] + 1e-9
+
+    @given(graph=random_connected_graph())
+    @settings(max_examples=20, deadline=None)
+    def test_guarantee_on_random_graphs(self, graph):
+        metric = GraphMetric(graph)
+        oracle = DistanceOracle(metric, PARAMS)
+        bound = oracle.guarantee()
+        for u in metric.nodes:
+            for v in metric.nodes:
+                if u == v:
+                    continue
+                ratio = oracle.estimate(u, v) / metric.distance(u, v)
+                assert 1.0 - 1e-9 <= ratio <= bound + 1e-9
+
+
+def GraphMetricForTest():
+    from repro.graphs.generators import path_graph
+
+    return GraphMetric(path_graph(4))

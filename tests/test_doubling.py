@@ -1,0 +1,77 @@
+"""Tests for doubling-dimension and growth-bound estimation."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import (
+    grid_2d,
+    grid_with_holes,
+    path_graph,
+    star_graph,
+)
+from repro.metric.doubling import (
+    doubling_dimension,
+    growth_bound_constant,
+    is_doubling_with_dimension,
+)
+from repro.metric.graph_metric import GraphMetric
+
+
+class TestDoublingDimension:
+    def test_path_has_small_dimension(self):
+        metric = GraphMetric(path_graph(32))
+        # A line's true doubling dimension is 1; greedy covers stay <= 2.
+        assert doubling_dimension(metric) <= 2.0
+
+    def test_grid_has_bounded_dimension(self, grid_metric):
+        # The plane's dimension is 2; greedy covers allow some slack.
+        assert doubling_dimension(grid_metric) <= 4.0
+
+    def test_grid_with_holes_still_doubling(self, holes_metric):
+        assert doubling_dimension(holes_metric) <= 4.5
+
+    def test_star_has_large_dimension(self):
+        # A star's ball of radius 2 at the center needs one r/2-ball per
+        # leaf pair: dimension grows with log n.
+        metric = GraphMetric(star_graph(33))
+        assert doubling_dimension(metric) >= 4.0
+
+    def test_monotone_threshold_helper(self, grid_metric):
+        alpha = doubling_dimension(grid_metric)
+        assert is_doubling_with_dimension(grid_metric, alpha)
+        assert not is_doubling_with_dimension(grid_metric, alpha - 0.5)
+
+    def test_dimension_at_least_zero(self, any_metric):
+        assert doubling_dimension(any_metric) >= 0.0
+
+    def test_explicit_centers_subset(self, grid_metric):
+        full = doubling_dimension(grid_metric)
+        sampled = doubling_dimension(grid_metric, centers=[0, 5, 17])
+        assert sampled <= full + 1e-9
+
+
+class TestGrowthBound:
+    def test_path_growth_is_bounded(self):
+        metric = GraphMetric(path_graph(64))
+        assert growth_bound_constant(metric) <= 4.0
+
+    def test_grid_growth_is_bounded(self, grid_metric):
+        assert growth_bound_constant(grid_metric) <= 8.0
+
+    def test_exponential_path_breaks_growth_bound(self, exponential_metric):
+        # Doubling the radius around the light end swallows a constant
+        # number of extra nodes, but near weight jumps the ratio spikes.
+        assert growth_bound_constant(exponential_metric) >= 1.0
+
+    def test_star_growth_unbounded(self):
+        # At a leaf, B(1) = {leaf, center} but B(2) is the whole star:
+        # growth scales with n even though the metric is trivial.
+        metric = GraphMetric(star_graph(40))
+        assert growth_bound_constant(metric) >= 10.0
+
+    def test_holes_keep_growth_finite(self):
+        holey = GraphMetric(
+            grid_with_holes(9, hole_fraction=0.35, seed=1)
+        )
+        assert growth_bound_constant(holey) <= 12.0

@@ -1,0 +1,115 @@
+"""Edge-case graphs: cliques (diameter 1), two nodes, heavy multi-scale.
+
+Diameter-1 metrics are degenerate for the net hierarchy (``log Δ = 0``
+yet ``Y_0 = V`` must differ from the singleton top net); these tests pin
+the fix (a minimum of two levels for ``n > 1``) and general behavior on
+the smallest legal inputs.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.hierarchy import NetHierarchy
+from repro.packing.ballpacking import BallPacking
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+ALL_SCHEMES = [
+    NonScaleFreeLabeledScheme,
+    ScaleFreeLabeledScheme,
+    SimpleNameIndependentScheme,
+    ScaleFreeNameIndependentScheme,
+]
+
+
+def _clique(n):
+    graph = nx.complete_graph(n)
+    nx.set_edge_attributes(graph, 1.0, "weight")
+    return GraphMetric(graph)
+
+
+class TestDiameterOneMetrics:
+    def test_hierarchy_has_two_levels(self):
+        hierarchy = NetHierarchy(_clique(4))
+        assert hierarchy.top_level >= 1
+        assert hierarchy.net(0) == [0, 1, 2, 3]
+        assert hierarchy.net(hierarchy.top_level) == [0]
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_schemes_route_on_cliques(self, scheme_cls, n):
+        metric = _clique(n)
+        scheme = scheme_cls(metric, SchemeParameters(epsilon=0.5))
+        ev = scheme.evaluate()
+        bound = 1 + 8 * 0.5 if scheme.stretch_guarantee() == 1.0 else 13
+        assert ev.max_stretch <= bound
+
+    def test_labeled_is_exact_on_cliques(self):
+        scheme = NonScaleFreeLabeledScheme(
+            _clique(6), SchemeParameters(epsilon=0.5)
+        )
+        assert scheme.evaluate().max_stretch == pytest.approx(1.0)
+
+    def test_packing_on_clique(self):
+        packing = BallPacking(_clique(4))
+        for j in packing.levels:
+            for ball in packing.packing(j):
+                assert ball.size == min(4, 1 << j)
+
+
+class TestTwoNodeGraphs:
+    def test_single_edge_all_schemes(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=3.5)
+        metric = GraphMetric(graph)
+        for scheme_cls in ALL_SCHEMES:
+            scheme = scheme_cls(metric, SchemeParameters(epsilon=0.5))
+            result = scheme.route(0, 1)
+            assert result.target == 1
+            assert result.cost >= 1.0  # normalized edge length
+
+    def test_two_node_tables_tiny(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1.0)
+        metric = GraphMetric(graph)
+        scheme = ScaleFreeLabeledScheme(
+            metric, SchemeParameters(epsilon=0.5)
+        )
+        assert scheme.max_table_bits() < 500
+
+
+class TestMultiScaleWeights:
+    def test_two_cluster_dumbbell(self):
+        """Two unit cliques joined by one enormous edge."""
+        graph = nx.Graph()
+        for offset in (0, 4):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    graph.add_edge(offset + i, offset + j, weight=1.0)
+        graph.add_edge(3, 4, weight=10_000.0)
+        metric = GraphMetric(graph)
+        for scheme_cls in ALL_SCHEMES:
+            scheme = scheme_cls(metric, SchemeParameters(epsilon=0.5))
+            # Cross-cluster and in-cluster routes both work.
+            assert scheme.route(0, 7).target == 7
+            assert scheme.route(5, 6).target == 6
+            in_cluster = scheme.route(0, 2)
+            assert in_cluster.stretch <= 13
+
+    def test_scale_free_schemes_cheap_on_dumbbell(self):
+        graph = nx.Graph()
+        for offset in (0, 4):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    graph.add_edge(offset + i, offset + j, weight=1.0)
+        graph.add_edge(3, 4, weight=10_000.0)
+        metric = GraphMetric(graph)
+        params = SchemeParameters(epsilon=0.5)
+        non_sf = SimpleNameIndependentScheme(metric, params)
+        sf = ScaleFreeNameIndependentScheme(metric, params)
+        # log Delta ~ 14 levels here; the scale-free tables are smaller.
+        assert sf.max_table_bits() < non_sf.max_table_bits()

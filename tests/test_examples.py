@@ -1,0 +1,27 @@
+"""Execute every example script end-to-end (guards the documented API).
+
+Marked ``slow``: deselect with ``pytest -m 'not slow'`` for quick runs.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_directory_nonempty():
+    assert len(EXAMPLES) >= 7

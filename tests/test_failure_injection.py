@@ -1,0 +1,138 @@
+"""Failure-injection tests: corrupted routing state must be *detected*.
+
+A compact routing scheme's tables are distributed state; a production
+implementation must fail loudly (misdelivery detection, convergence
+guards) rather than silently deliver to the wrong node or loop forever.
+These tests corrupt specific table entries and assert the defined
+failure behaviour.
+"""
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.core.types import RouteFailure
+from repro.metric.graph_metric import GraphMetric
+from repro.graphs.generators import grid_2d
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.searchtree.tree import SearchTree
+
+
+@pytest.fixture()
+def fresh_scheme():
+    """A private scheme instance safe to corrupt (function-scoped)."""
+    metric = GraphMetric(grid_2d(5))
+    return SimpleNameIndependentScheme(metric, SchemeParameters())
+
+
+class TestMisdeliveryDetection:
+    def test_corrupted_search_tree_label_detected(self, fresh_scheme):
+        """Swapping a stored label makes the final leg deliver to the
+        wrong node; the destination name check must catch it."""
+        scheme = fresh_scheme
+        metric = scheme.metric
+        target = metric.n - 1
+        wrong = metric.n - 2
+        wrong_label = scheme.underlying.routing_label(wrong)
+        name = scheme.name_of(target)
+        # Corrupt every copy of (name -> label) in every search tree.
+        for level_trees in scheme._trees:
+            for tree in level_trees.values():
+                for held in tree._pairs_at.values():
+                    if name in held:
+                        held[name] = wrong_label
+        with pytest.raises(RouteFailure, match="misdelivery"):
+            scheme.route(0, target)
+
+    def test_uncorrupted_routes_still_work(self, fresh_scheme):
+        result = fresh_scheme.route(0, fresh_scheme.metric.n - 1)
+        assert result.target == fresh_scheme.metric.n - 1
+
+
+class TestMissingState:
+    def test_missing_pairs_everywhere_raises(self, fresh_scheme):
+        """Erasing a name from every search tree (a lost registration)
+        must raise rather than loop: the top level reports a miss."""
+        scheme = fresh_scheme
+        name = scheme.name_of(3)
+        for level_trees in scheme._trees:
+            for tree in level_trees.values():
+                for held in tree._pairs_at.values():
+                    held.pop(name, None)
+        with pytest.raises(RouteFailure):
+            scheme.route(0, 3)
+
+    def test_search_range_corruption_is_a_miss_not_a_crash(self):
+        """Corrupting subtree ranges makes lookups miss; Algorithm 2
+        still terminates and reports not-found."""
+        metric = GraphMetric(grid_2d(4))
+        tree = SearchTree(metric, 0, metric.diameter, 0.5)
+        tree.store({v: v for v in tree.nodes})
+        victim = tree.nodes[-1]
+        tree._subtree_range = {
+            node: (10**6, 10**6 + 1) for node in tree._subtree_range
+        }
+        outcome = tree.search(victim)
+        assert not outcome.found
+        assert outcome.trail[0] == tree.root
+
+
+class TestEscalation:
+    def test_labeled_scalefree_escalates_past_corrupted_search_tree(self):
+        """If the prescribed level's search tree loses the target entry
+        (Lemma 4.5 violated by corruption), Algorithm 5 escalates to
+        coarser packing levels and still delivers — counting fallbacks."""
+        from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+        from repro.graphs.generators import exponential_path
+
+        metric = GraphMetric(exponential_path(12))
+        scheme = ScaleFreeLabeledScheme(metric, SchemeParameters())
+        # Find a route that uses the Voronoi phase, then corrupt the
+        # search trees at every level except the global one.
+        top = metric.log_n
+        for j in range(top):
+            for searcher in scheme._searchers[j].values():
+                searcher.store({})
+        before = scheme.fallback_count
+        for u in metric.nodes:
+            for v in metric.nodes:
+                if u != v:
+                    assert scheme.route(u, v).target == v
+        # The global (j = log n) level carried the corrupted lookups.
+        assert scheme.fallback_count >= before
+
+    def test_global_level_alone_suffices(self):
+        """The j = log n Voronoi tree spans V and its search tree holds
+        every label — the escalation endpoint is always complete."""
+        from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+        from repro.graphs.generators import grid_2d as grid
+
+        metric = GraphMetric(grid(4))
+        scheme = ScaleFreeLabeledScheme(metric, SchemeParameters())
+        top = metric.log_n
+        searchers = scheme._searchers[top]
+        assert len(searchers) == 1
+        (tree,) = searchers.values()
+        for v in metric.nodes:
+            assert tree.lookup_everywhere(scheme.routing_label(v))
+
+
+class TestConvergenceGuards:
+    def test_labeled_walk_guard_trips_on_cyclic_hops(self, monkeypatch):
+        """If next hops are corrupted into a cycle, the walk guard must
+        raise instead of looping forever."""
+        metric = GraphMetric(grid_2d(4))
+        scheme = NonScaleFreeLabeledScheme(metric, SchemeParameters())
+
+        flip = {0: 1, 1: 0}
+
+        def cyclic_next_hop(u, x):
+            return flip.get(u, 1)
+
+        monkeypatch.setattr(metric, "next_hop", cyclic_next_hop)
+        with pytest.raises(RouteFailure):
+            scheme.route(0, metric.n - 1)
+
+    def test_bad_name_rejected_before_any_hop(self, fresh_scheme):
+        with pytest.raises(RouteFailure):
+            fresh_scheme.route_to_name(0, -7)

@@ -1,0 +1,218 @@
+"""Tests for the workload graph generators."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    balanced_tree,
+    caterpillar,
+    clustered_backbone,
+    exponential_path,
+    exponential_ring,
+    grid_2d,
+    grid_with_holes,
+    hypercube,
+    path_graph,
+    random_geometric,
+    ring_graph,
+    star_graph,
+    uniform_random_weights,
+)
+
+
+def _assert_valid(graph: nx.Graph):
+    assert nx.is_connected(graph)
+    assert sorted(graph.nodes()) == list(range(graph.number_of_nodes()))
+    for _, _, data in graph.edges(data=True):
+        assert data["weight"] > 0
+
+
+class TestGrid:
+    def test_size(self):
+        assert grid_2d(4).number_of_nodes() == 16
+
+    def test_rectangular(self):
+        graph = grid_2d(3, 5)
+        assert graph.number_of_nodes() == 15
+        _assert_valid(graph)
+
+    def test_unit_weights(self):
+        for _, _, data in grid_2d(3).edges(data=True):
+            assert data["weight"] == 1.0
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            grid_2d(0)
+
+
+class TestGridWithHoles:
+    def test_remains_connected(self):
+        _assert_valid(grid_with_holes(8, hole_fraction=0.3, seed=1))
+
+    def test_removes_roughly_requested_fraction(self):
+        graph = grid_with_holes(10, hole_fraction=0.25, seed=2)
+        assert graph.number_of_nodes() <= 100 - 15
+
+    def test_zero_fraction_is_full_grid(self):
+        assert grid_with_holes(5, hole_fraction=0.0).number_of_nodes() == 25
+
+    def test_deterministic_for_seed(self):
+        a = grid_with_holes(6, seed=9)
+        b = grid_with_holes(6, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            grid_with_holes(5, hole_fraction=1.0)
+
+
+class TestRandomGeometric:
+    def test_connected_and_valid(self):
+        _assert_valid(random_geometric(40, seed=3))
+
+    def test_deterministic_for_seed(self):
+        a = random_geometric(30, seed=4)
+        b = random_geometric(30, seed=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_positions_attached(self):
+        graph = random_geometric(10, seed=0)
+        assert all("pos" in graph.nodes[v] for v in graph.nodes())
+
+    def test_three_dimensional(self):
+        graph = random_geometric(25, dim=3, seed=5)
+        _assert_valid(graph)
+        assert len(graph.nodes[0]["pos"]) == 3
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_geometric(0)
+
+
+class TestSimpleFamilies:
+    def test_path(self):
+        graph = path_graph(6, weight=2.0)
+        _assert_valid(graph)
+        assert graph.number_of_edges() == 5
+
+    def test_ring(self):
+        graph = ring_graph(6)
+        _assert_valid(graph)
+        assert graph.number_of_edges() == 6
+
+    def test_star(self):
+        graph = star_graph(7)
+        _assert_valid(graph)
+        assert graph.degree[0] == 6
+
+    def test_star_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            star_graph(1)
+
+    def test_balanced_tree(self):
+        graph = balanced_tree(2, 3)
+        _assert_valid(graph)
+        assert graph.number_of_nodes() == 15
+        assert nx.is_tree(graph)
+
+
+class TestExponentialFamilies:
+    def test_exponential_path_weights(self):
+        graph = exponential_path(5, base=2.0)
+        weights = [
+            graph[i][i + 1]["weight"] for i in range(4)
+        ]
+        assert weights == [1.0, 2.0, 4.0, 8.0]
+
+    def test_exponential_path_diameter_exponential(self):
+        graph = exponential_path(20)
+        total = sum(d["weight"] for _, _, d in graph.edges(data=True))
+        assert total >= 2**18
+
+    def test_exponential_ring_valid(self):
+        graph = exponential_ring(8)
+        _assert_valid(graph)
+        assert graph.number_of_edges() == 8
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_path(1)
+
+
+class TestClusteredBackbone:
+    def test_size_and_validity(self):
+        graph = clustered_backbone(4, 5, base=2.0)
+        _assert_valid(graph)
+        assert graph.number_of_nodes() == 20
+
+    def test_backbone_weights_geometric(self):
+        graph = clustered_backbone(3, 2, base=4.0)
+        assert graph[1][2]["weight"] == pytest.approx(4.0)
+        assert graph[3][4]["weight"] == pytest.approx(16.0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_backbone(0, 3)
+        with pytest.raises(ValueError):
+            clustered_backbone(3, 3, base=1.0)
+
+
+class TestCaterpillar:
+    def test_size(self):
+        graph = caterpillar(4, 3)
+        _assert_valid(graph)
+        assert graph.number_of_nodes() == 4 + 12
+        assert nx.is_tree(graph)
+
+    def test_spine_degrees(self):
+        graph = caterpillar(5, 4)
+        # Interior spine nodes: 2 spine edges + 4 legs.
+        assert graph.degree[2] == 6
+
+    def test_zero_legs_is_a_path(self):
+        graph = caterpillar(6, 0)
+        assert graph.number_of_edges() == 5
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            caterpillar(0, 2)
+
+
+class TestHypercube:
+    def test_size(self):
+        graph = hypercube(4)
+        _assert_valid(graph)
+        assert graph.number_of_nodes() == 16
+        assert all(graph.degree[v] == 4 for v in graph.nodes())
+
+    def test_dimension_grows_doubling_dimension(self):
+        from repro.metric.doubling import doubling_dimension
+        from repro.metric.graph_metric import GraphMetric
+
+        small = doubling_dimension(GraphMetric(hypercube(2)))
+        large = doubling_dimension(GraphMetric(hypercube(5)))
+        assert large > small
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube(0)
+
+
+class TestUniformRandomWeights:
+    def test_weights_in_range(self):
+        graph = uniform_random_weights(grid_2d(4), low=1.0, high=3.0, seed=1)
+        for _, _, data in graph.edges(data=True):
+            assert 1.0 <= data["weight"] <= 3.0
+
+    def test_original_untouched(self):
+        original = grid_2d(3)
+        uniform_random_weights(original, seed=2)
+        assert all(
+            d["weight"] == 1.0 for _, _, d in original.edges(data=True)
+        )
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_random_weights(grid_2d(3), low=2.0, high=1.0)

@@ -1,0 +1,148 @@
+"""Tests for heavy-path tree routing (the FG-flavored Lemma 4.1 router)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import RouteFailure
+from repro.graphs.generators import balanced_tree, path_graph, star_graph
+from repro.metric.graph_metric import GraphMetric
+from repro.trees.heavy_path import HeavyPathRouter
+from repro.trees.spt import ShortestPathTree
+from repro.trees.tree_router import TreeRouter
+
+from tests.test_rnet import random_connected_graph
+
+
+def _router(metric, root=0):
+    tree = ShortestPathTree(metric, root, list(metric.nodes))
+    return HeavyPathRouter(tree)
+
+
+class TestLabels:
+    def test_root_label_trivial(self, grid_metric):
+        router = _router(grid_metric)
+        assert router.label(0) == ((0, -1),)
+
+    def test_labels_unique(self, grid_metric):
+        router = _router(grid_metric)
+        labels = {router.label(v) for v in grid_metric.nodes}
+        assert len(labels) == grid_metric.n
+
+    def test_light_depth_logarithmic(self, any_metric):
+        """At most log2(n) light edges on any root-to-node path."""
+        router = _router(any_metric)
+        bound = math.floor(math.log2(any_metric.n)) if any_metric.n > 1 else 0
+        for v in any_metric.nodes:
+            assert router.light_depth(v) <= bound
+
+    def test_path_label_single_entry(self):
+        # A path rooted at an end is one heavy path: every label is
+        # ((depth, -1),).
+        metric = GraphMetric(path_graph(10))
+        router = _router(metric, root=0)
+        for v in metric.nodes:
+            assert router.label(v) == ((v, -1),)
+
+    def test_node_with_label_inverts(self, grid_metric):
+        router = _router(grid_metric)
+        for v in (0, 9, 35):
+            assert router.node_with_label(router.label(v)) == v
+
+    def test_label_of_nonmember_rejected(self, grid_metric):
+        tree = ShortestPathTree(grid_metric, 0, [0, 1])
+        router = HeavyPathRouter(tree)
+        with pytest.raises(KeyError):
+            router.label(35)
+
+
+class TestRouting:
+    def test_routes_reach_target(self, any_metric):
+        router = _router(any_metric)
+        for u in range(0, any_metric.n, 4):
+            for v in range(0, any_metric.n, 5):
+                path = router.route(u, router.label(v))
+                assert path[0] == u and path[-1] == v
+
+    def test_route_cost_is_tree_distance(self, grid_metric):
+        router = _router(grid_metric)
+        tree = router.tree
+        for u, v in [(0, 35), (7, 8), (12, 12), (30, 1), (35, 0)]:
+            cost = router.route_cost(u, router.label(v))
+            assert cost == pytest.approx(tree.tree_distance(u, v))
+
+    def test_optimal_on_star(self):
+        metric = GraphMetric(star_graph(14))
+        assert _router(metric).verify_optimal()
+
+    def test_optimal_on_balanced_tree(self):
+        metric = GraphMetric(balanced_tree(3, 2))
+        assert _router(metric).verify_optimal()
+
+    def test_bad_source_rejected(self, grid_metric):
+        tree = ShortestPathTree(grid_metric, 0, [0, 1])
+        router = HeavyPathRouter(tree)
+        with pytest.raises(RouteFailure):
+            router.route(35, router.label(0))
+
+    @given(graph=random_connected_graph(), root=st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_optimal_on_random_trees(self, graph, root):
+        metric = GraphMetric(graph)
+        root = root % metric.n
+        tree = ShortestPathTree(metric, root, list(metric.nodes))
+        router = HeavyPathRouter(tree)
+        for u in metric.nodes:
+            for v in metric.nodes:
+                cost = router.route_cost(u, router.label(v))
+                assert cost == pytest.approx(
+                    tree.tree_distance(u, v), rel=1e-9, abs=1e-9
+                )
+
+
+class TestStorageVsIntervalRouter:
+    def test_storage_degree_independent(self):
+        """On a star, the interval router pays Theta(n log n) at the
+        center; the heavy-path router stays polylog."""
+        metric = GraphMetric(star_graph(33))
+        tree = ShortestPathTree(metric, 0, list(metric.nodes))
+        interval = TreeRouter(tree)
+        heavy = HeavyPathRouter(tree)
+        assert heavy.storage_bits(0) < interval.storage_bits(0) / 4
+
+    def test_label_bits_polylog(self, any_metric):
+        router = _router(any_metric)
+        n = any_metric.n
+        bound = (math.floor(math.log2(n)) + 1) * (
+            2 * (math.ceil(math.log2(max(2, n))) + 1)
+        )
+        assert router.max_label_bits() <= bound
+
+    def test_same_paths_as_interval_router(self, grid_metric):
+        """Both routers walk the same (unique) tree path."""
+        tree = ShortestPathTree(grid_metric, 0, list(grid_metric.nodes))
+        interval = TreeRouter(tree)
+        heavy = HeavyPathRouter(tree)
+        for u, v in [(0, 35), (17, 4), (8, 31)]:
+            a = interval.route(u, interval.label(v))
+            b = heavy.route(u, heavy.label(v))
+            assert a == b
+
+    def test_subtree_sizes_consistent(self, grid_metric):
+        router = _router(grid_metric)
+        assert router._subtree_size[0] == grid_metric.n
+
+    def test_heavy_child_is_largest(self, grid_metric):
+        router = _router(grid_metric)
+        tree = router.tree
+        for v in tree.nodes:
+            kids = tree.children_of(v)
+            heavy = router._heavy_child[v]
+            if not kids:
+                assert heavy is None
+                continue
+            assert router._subtree_size[heavy] == max(
+                router._subtree_size[c] for c in kids
+            )

@@ -1,0 +1,157 @@
+"""Tests for the net hierarchy, zooming sequences, netting-tree labels."""
+
+import pytest
+
+from repro.core.types import PreprocessingError
+from repro.graphs.generators import path_graph
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.hierarchy import NetHierarchy
+from repro.nets.rnet import is_rnet
+
+
+class TestNets:
+    def test_bottom_net_is_everything(self, grid_hierarchy, grid_metric):
+        assert grid_hierarchy.net(0) == list(grid_metric.nodes)
+
+    def test_top_net_is_singleton_root(self, grid_hierarchy):
+        assert grid_hierarchy.net(grid_hierarchy.top_level) == [0]
+
+    def test_nets_are_nested(self, grid_hierarchy):
+        for i in range(grid_hierarchy.top_level):
+            assert set(grid_hierarchy.net(i + 1)) <= set(
+                grid_hierarchy.net(i)
+            )
+
+    def test_every_level_is_valid_rnet(self, any_metric):
+        hierarchy = NetHierarchy(any_metric)
+        for i in hierarchy.levels:
+            assert is_rnet(any_metric, float(2**i), hierarchy.net(i))
+
+    def test_in_net(self, grid_hierarchy):
+        top = grid_hierarchy.top_level
+        assert grid_hierarchy.in_net(0, top)
+        for x in grid_hierarchy.net(1):
+            assert grid_hierarchy.in_net(x, 1)
+
+    def test_highest_level_of(self, grid_hierarchy):
+        assert (
+            grid_hierarchy.highest_level_of(0) == grid_hierarchy.top_level
+        )
+        for x in grid_hierarchy.net(0):
+            h = grid_hierarchy.highest_level_of(x)
+            assert grid_hierarchy.in_net(x, h)
+            if h < grid_hierarchy.top_level:
+                assert not grid_hierarchy.in_net(x, h + 1)
+
+    def test_custom_root(self, grid_metric):
+        hierarchy = NetHierarchy(grid_metric, root=5)
+        assert hierarchy.net(hierarchy.top_level) == [5]
+
+    def test_bad_root_rejected(self, grid_metric):
+        with pytest.raises(PreprocessingError):
+            NetHierarchy(grid_metric, root=grid_metric.n)
+
+
+class TestZoomingSequences:
+    def test_starts_at_node(self, grid_hierarchy, grid_metric):
+        for u in grid_metric.nodes:
+            assert grid_hierarchy.zooming_sequence(u)[0] == u
+
+    def test_ends_at_root(self, grid_hierarchy, grid_metric):
+        for u in grid_metric.nodes:
+            assert grid_hierarchy.zooming_sequence(u)[-1] == 0
+
+    def test_members_belong_to_their_nets(self, grid_hierarchy):
+        for u in (0, 7, 20, 35):
+            seq = grid_hierarchy.zooming_sequence(u)
+            for i, x in enumerate(seq):
+                assert grid_hierarchy.in_net(x, i)
+
+    def test_eqn_2_cumulative_bound(self, any_metric):
+        """Paper Eqn. (2): sum of zoom hops up to level i is < 2^{i+1}."""
+        hierarchy = NetHierarchy(any_metric)
+        for u in any_metric.nodes:
+            seq = hierarchy.zooming_sequence(u)
+            total = 0.0
+            for i in range(1, len(seq)):
+                total += any_metric.distance(seq[i - 1], seq[i])
+                assert total < 2.0 ** (i + 1) + 1e-6
+
+    def test_each_hop_bounded_by_level_radius(self, any_metric):
+        hierarchy = NetHierarchy(any_metric)
+        for u in any_metric.nodes:
+            seq = hierarchy.zooming_sequence(u)
+            for i in range(1, len(seq)):
+                assert any_metric.distance(seq[i - 1], seq[i]) <= (
+                    2.0**i + 1e-9
+                )
+
+    def test_zoom_matches_sequence(self, grid_hierarchy):
+        for u in (3, 14, 30):
+            seq = grid_hierarchy.zooming_sequence(u)
+            for i in grid_hierarchy.levels:
+                assert grid_hierarchy.zoom(u, i) == seq[i]
+
+    def test_parent_requires_valid_level(self, grid_hierarchy):
+        with pytest.raises(ValueError):
+            grid_hierarchy.parent(0, 0)
+
+
+class TestNettingTreeLabels:
+    def test_labels_are_a_permutation(self, grid_hierarchy, grid_metric):
+        labels = sorted(grid_hierarchy.label(v) for v in grid_metric.nodes)
+        assert labels == list(range(grid_metric.n))
+
+    def test_label_in_range_iff_ancestor(self, any_metric):
+        """The §4.1 key fact: l(u) ∈ Range(x, i) iff x = u(i)."""
+        hierarchy = NetHierarchy(any_metric)
+        for u in any_metric.nodes:
+            seq = hierarchy.zooming_sequence(u)
+            label = hierarchy.label(u)
+            for i in hierarchy.levels:
+                for x in hierarchy.net(i):
+                    expected = x == seq[i]
+                    assert hierarchy.label_in_range(label, x, i) == expected
+
+    def test_root_range_covers_everything(self, grid_hierarchy, grid_metric):
+        lo, hi = grid_hierarchy.range_of(0, grid_hierarchy.top_level)
+        assert (lo, hi) == (0, grid_metric.n - 1)
+
+    def test_level_zero_ranges_are_singletons(
+        self, grid_hierarchy, grid_metric
+    ):
+        for v in grid_metric.nodes:
+            label = grid_hierarchy.label(v)
+            assert grid_hierarchy.range_of(v, 0) == (label, label)
+
+    def test_ranges_disjoint_within_level(self, grid_hierarchy):
+        for i in grid_hierarchy.levels:
+            intervals = sorted(
+                grid_hierarchy.range_of(x, i) for x in grid_hierarchy.net(i)
+            )
+            for (_, hi), (lo, _) in zip(intervals, intervals[1:]):
+                assert hi < lo
+
+    def test_ranges_nest_up_the_tree(self, grid_hierarchy, grid_metric):
+        for u in grid_metric.nodes:
+            seq = grid_hierarchy.zooming_sequence(u)
+            prev = grid_hierarchy.range_of(seq[0], 0)
+            for i in range(1, grid_hierarchy.top_level + 1):
+                cur = grid_hierarchy.range_of(seq[i], i)
+                assert cur[0] <= prev[0] and prev[1] <= cur[1]
+                prev = cur
+
+    def test_node_with_label_inverts(self, grid_hierarchy, grid_metric):
+        for v in (0, 9, 35):
+            assert grid_hierarchy.node_with_label(
+                grid_hierarchy.label(v)
+            ) == v
+
+    def test_single_node_graph(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node(0)
+        hierarchy = NetHierarchy(GraphMetric(graph))
+        assert hierarchy.top_level == 0
+        assert hierarchy.label(0) == 0

@@ -1,0 +1,140 @@
+"""Cross-module integration tests: all schemes against all families.
+
+These tests exercise the full pipeline — metric, nets, packings, search
+trees, tree routing, schemes — on every graph family and compare schemes
+against each other and the baseline oracle.
+"""
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+from repro.schemes.shortest_path import ShortestPathScheme
+
+ALL_SCHEMES = [
+    ShortestPathScheme,
+    NonScaleFreeLabeledScheme,
+    ScaleFreeLabeledScheme,
+    SimpleNameIndependentScheme,
+    ScaleFreeNameIndependentScheme,
+]
+
+
+@pytest.fixture(scope="module", params=[cls.__name__ for cls in ALL_SCHEMES])
+def scheme_cls(request):
+    return next(c for c in ALL_SCHEMES if c.__name__ == request.param)
+
+
+class TestAllSchemesAllFamilies:
+    def test_every_route_terminates_at_target(
+        self, scheme_cls, any_metric, params
+    ):
+        scheme = scheme_cls(any_metric, params)
+        for u in range(0, any_metric.n, 5):
+            for v in range(0, any_metric.n, 3):
+                if u == v:
+                    continue
+                result = scheme.route(u, v)
+                assert result.target == v
+                assert result.path[-1] == v
+
+    def test_cost_never_below_optimal(self, scheme_cls, any_metric, params):
+        scheme = scheme_cls(any_metric, params)
+        for u in range(0, any_metric.n, 7):
+            for v in range(0, any_metric.n, 4):
+                if u == v:
+                    continue
+                result = scheme.route(u, v)
+                assert result.cost >= result.optimal - 1e-9
+
+    def test_path_cost_consistent(self, scheme_cls, any_metric, params):
+        """Summing metric legs along result.path reproduces result.cost."""
+        scheme = scheme_cls(any_metric, params)
+        for u, v in [(0, any_metric.n - 1), (1, any_metric.n // 2)]:
+            if u == v:
+                continue
+            result = scheme.route(u, v)
+            leg_sum = sum(
+                any_metric.distance(a, b)
+                for a, b in zip(result.path, result.path[1:])
+            )
+            assert leg_sum == pytest.approx(
+                result.cost, rel=1e-6, abs=1e-6
+            )
+
+    def test_table_bits_all_positive(self, scheme_cls, any_metric, params):
+        scheme = scheme_cls(any_metric, params)
+        assert all(
+            scheme.table_bits(v) > 0 for v in any_metric.nodes
+        )
+
+    def test_header_bits_positive(self, scheme_cls, any_metric, params):
+        assert scheme_cls(any_metric, params).header_bits() > 0
+
+
+class TestSchemeComparisons:
+    def test_labeled_beats_name_independent_stretch(
+        self, grid_metric, params
+    ):
+        labeled = ScaleFreeLabeledScheme(grid_metric, params)
+        nameind = ScaleFreeNameIndependentScheme(
+            grid_metric, params, underlying=labeled
+        )
+        pairs = [(u, v) for u in range(0, 36, 4) for v in range(1, 36, 5)
+                 if u != v]
+        assert labeled.evaluate(pairs).mean_stretch <= (
+            nameind.evaluate(pairs).mean_stretch + 1e-9
+        )
+
+    def test_compact_tables_sublinear_vs_baseline(self, params):
+        """On a larger graph the compact schemes use far less storage
+        than the full-table baseline (the whole point of the paper)."""
+        from repro.graphs.generators import grid_2d
+        from repro.metric.graph_metric import GraphMetric
+
+        metric = GraphMetric(grid_2d(12))  # n = 144
+        baseline = ShortestPathScheme(metric, params)
+        labeled = NonScaleFreeLabeledScheme(metric, params)
+        assert labeled.max_table_bits() < baseline.max_table_bits()
+
+    def test_shared_substrates_are_reused(self, grid_metric, params):
+        labeled = ScaleFreeLabeledScheme(grid_metric, params)
+        nameind = ScaleFreeNameIndependentScheme(
+            grid_metric, params, underlying=labeled
+        )
+        assert nameind.underlying is labeled
+        assert nameind.hierarchy is labeled.hierarchy
+        assert nameind.packing is labeled.packing
+
+    def test_underlying_labels_agree(self, grid_metric, params):
+        """Both labeled schemes assign identical (netting-tree) labels
+        when sharing a hierarchy."""
+        nonsf = NonScaleFreeLabeledScheme(grid_metric, params)
+        sf = ScaleFreeLabeledScheme(
+            grid_metric, params, hierarchy=nonsf.hierarchy
+        )
+        for v in grid_metric.nodes:
+            assert nonsf.routing_label(v) == sf.routing_label(v)
+
+
+class TestEvaluateHarness:
+    def test_evaluate_all_pairs_default(self, grid_metric, params):
+        scheme = ShortestPathScheme(grid_metric, params)
+        ev = scheme.evaluate()
+        assert ev.pair_count == grid_metric.n * (grid_metric.n - 1)
+
+    def test_evaluate_reports_worst_pair(self, grid_metric, params):
+        scheme = SimpleNameIndependentScheme(grid_metric, params)
+        pairs = [(0, 1), (0, 35), (17, 18)]
+        ev = scheme.evaluate(pairs)
+        assert ev.worst_pair in pairs
+        worst = scheme.route(*ev.worst_pair)
+        assert worst.stretch == pytest.approx(ev.max_stretch)
+
+    def test_evaluate_empty_rejected(self, grid_metric, params):
+        scheme = ShortestPathScheme(grid_metric, params)
+        with pytest.raises(ValueError):
+            scheme.evaluate([])

@@ -1,0 +1,149 @@
+"""Tests for the scale-free labeled scheme (Theorem 1.2, Algorithm 5)."""
+
+import math
+
+import pytest
+
+from repro.core.bitcount import bits_for_id
+from repro.core.params import SchemeParameters
+from repro.core.types import PreprocessingError, RouteFailure
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+
+
+class TestConstruction:
+    def test_large_epsilon_rejected(self, grid_metric):
+        with pytest.raises(PreprocessingError):
+            ScaleFreeLabeledScheme(
+                grid_metric, SchemeParameters(epsilon=0.9)
+            )
+
+    def test_stored_levels_match_R_definition(self, labeled_sf, grid_metric):
+        """R(u) = {i : exists j, (eps/6) r_u(j) <= 2^i <= r_u(j)}."""
+        eps = labeled_sf.params.epsilon
+        top = labeled_sf.hierarchy.top_level
+        for u in range(0, grid_metric.n, 7):
+            expected = set()
+            for j in range(grid_metric.log_n + 1):
+                r = grid_metric.r_u(u, j)
+                if r <= 0:
+                    continue
+                for i in range(top + 1):
+                    if (eps / 6) * r <= 2.0**i <= r:
+                        expected.add(i)
+            assert set(labeled_sf.stored_levels(u)) == expected
+
+    def test_ring_count_independent_of_delta(self, params):
+        """Scale-free: stored levels are O(log n / eps), not log Delta."""
+        from repro.graphs.generators import exponential_path
+        from repro.metric.graph_metric import GraphMetric
+
+        metric = GraphMetric(exponential_path(14, base=8.0))
+        scheme = ScaleFreeLabeledScheme(metric, params)
+        bound = (
+            (math.log2(metric.n) + 1)
+            * (math.log2(6 / params.epsilon) + 2)
+        )
+        for u in metric.nodes:
+            assert len(scheme.stored_levels(u)) <= bound
+        # log Delta is far larger than the stored-level count here.
+        assert metric.log_diameter > bound / 2
+
+    def test_labels_are_netting_tree_labels(self, labeled_sf):
+        hierarchy = labeled_sf.hierarchy
+        for v in labeled_sf.metric.nodes:
+            assert labeled_sf.routing_label(v) == hierarchy.label(v)
+
+    def test_label_bits(self, labeled_sf, grid_metric):
+        assert labeled_sf.label_bits() == bits_for_id(grid_metric.n)
+
+
+class TestRouting:
+    def test_reaches_every_destination(self, labeled_sf, grid_metric):
+        for u in range(0, grid_metric.n, 5):
+            for v in grid_metric.nodes:
+                if u == v:
+                    continue
+                assert labeled_sf.route(u, v).target == v
+
+    def test_stretch_bound(self, labeled_sf):
+        eps = labeled_sf.params.epsilon
+        ev = labeled_sf.evaluate()
+        assert ev.max_stretch <= 1 + 8 * eps
+
+    def test_no_fallbacks_on_grid(self, labeled_sf):
+        labeled_sf.evaluate()
+        assert labeled_sf.fallback_count == 0
+
+    def test_no_fallbacks_on_all_families(self, any_metric, params):
+        scheme = ScaleFreeLabeledScheme(any_metric, params)
+        pairs = [
+            (u, v)
+            for u in range(0, any_metric.n, 4)
+            for v in range(0, any_metric.n, 3)
+            if u != v
+        ]
+        ev = scheme.evaluate(pairs)
+        assert scheme.fallback_count == 0
+        assert ev.max_stretch <= 1 + 8 * params.epsilon
+
+    def test_legs_sum_to_cost(self, labeled_sf, grid_metric):
+        for u, v in [(0, 35), (7, 28), (20, 3)]:
+            result = labeled_sf.route(u, v)
+            assert sum(result.legs.values()) == pytest.approx(result.cost)
+
+    def test_nearby_destination_routes_directly(self, labeled_sf, grid_metric):
+        """Adjacent destinations are delivered by the ring walk alone."""
+        result = labeled_sf.route(0, 1)
+        assert result.legs["search"] == 0.0
+        assert result.stretch == pytest.approx(1.0)
+
+    def test_small_epsilon_still_exact_for_neighbours(self, grid_metric):
+        scheme = ScaleFreeLabeledScheme(
+            grid_metric, SchemeParameters(epsilon=0.125)
+        )
+        for u, v in [(0, 1), (0, 6), (14, 15), (35, 29)]:
+            assert scheme.route(u, v).stretch == pytest.approx(1.0)
+
+    def test_self_route(self, labeled_sf):
+        result = labeled_sf.route(9, 9)
+        assert result.cost == 0.0
+
+    def test_bad_label_rejected(self, labeled_sf, grid_metric):
+        with pytest.raises(RouteFailure):
+            labeled_sf.route_to_label(0, -1)
+
+    def test_exponential_path_routes(self, exponential_metric, params):
+        scheme = ScaleFreeLabeledScheme(exponential_metric, params)
+        ev = scheme.evaluate()
+        assert ev.max_stretch <= 1 + 8 * params.epsilon
+        assert scheme.fallback_count == 0
+
+
+class TestStorage:
+    def test_scale_free_storage(self, params):
+        """Tables do not grow with Delta at fixed n (Theorem 1.2)."""
+        from repro.graphs.generators import exponential_path
+        from repro.metric.graph_metric import GraphMetric
+
+        sizes = []
+        for base in (1.5, 4.0, 16.0):
+            metric = GraphMetric(exponential_path(14, base=base))
+            scheme = ScaleFreeLabeledScheme(metric, params)
+            sizes.append(scheme.max_table_bits())
+        spread = max(sizes) / min(sizes)
+        assert spread <= 1.5  # flat up to constant wobble
+
+    def test_table_bits_positive(self, labeled_sf, grid_metric):
+        for v in grid_metric.nodes:
+            assert labeled_sf.table_bits(v) > 0
+
+    def test_header_polylog(self, labeled_sf, grid_metric):
+        assert labeled_sf.header_bits() <= 10 * bits_for_id(grid_metric.n)
+
+    def test_size_level_for(self, labeled_sf, grid_metric):
+        for u in (0, 17):
+            for power in (0.5, 1.0, 2.0, 4.0, 100.0):
+                j = labeled_sf._size_level_for(u, power)
+                assert grid_metric.r_u(u, j) <= power + 1e-9
+                if j < grid_metric.log_n:
+                    assert power < grid_metric.r_u(u, j + 1)

@@ -1,0 +1,207 @@
+"""Tests for the §5 lower bound: tree construction and counting."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import PreprocessingError
+from repro.lowerbound.counting import (
+    averaging_bound,
+    congruent_naming_log_count,
+    implied_stretch,
+    lower_bound_parameters,
+    partition_sizes,
+    sequence_ratio_witness,
+    table_size_threshold_bits,
+    verify_claim_5_10_base,
+    verify_claim_5_11,
+)
+from repro.lowerbound.tree import lower_bound_tree
+from repro.metric.graph_metric import GraphMetric
+
+
+class TestParameters:
+    def test_paper_constants(self):
+        params = lower_bound_parameters(4.0)
+        assert params.p == math.ceil(72 / 4) + 6 == 24
+        assert params.q == math.ceil(48 / 4) - 4 == 8
+        assert params.c == 192
+
+    def test_c_below_60_over_eps_squared(self):
+        # Holds exactly at these eps; isolated eps need the paper's
+        # implicit constant slack (see lower_bound_parameters).
+        for eps in (0.5, 1.0, 2.0, 4.0, 7.5):
+            params = lower_bound_parameters(eps)
+            assert params.c < (60.0 / eps) ** 2
+
+    def test_stretch_is_nine_minus_eps(self):
+        assert lower_bound_parameters(1.5).stretch == pytest.approx(7.5)
+
+    def test_out_of_range_rejected(self):
+        for bad in (0.0, 8.0, -1.0, 9.0):
+            with pytest.raises(ValueError):
+                lower_bound_parameters(bad)
+
+    def test_dimension_bound(self):
+        assert lower_bound_parameters(
+            2.0
+        ).doubling_dimension_bound == pytest.approx(5.0)
+
+    def test_table_threshold(self):
+        assert table_size_threshold_bits(6.0, 2**20) == pytest.approx(
+            (2**20) ** 0.01, rel=1e-9
+        )
+
+
+class TestTreeConstruction:
+    @pytest.fixture(scope="class")
+    def tree6(self):
+        return lower_bound_tree(6.0, 512)
+
+    def test_exact_node_count(self, tree6):
+        assert tree6.n == 512
+
+    def test_is_a_tree(self, tree6):
+        assert nx.is_tree(tree6.graph)
+
+    def test_all_spokes_present(self, tree6):
+        assert len(tree6.path_nodes) == tree6.p * tree6.q
+        for ids in tree6.path_nodes.values():
+            assert len(ids) >= 1
+
+    def test_spoke_weights_formula(self, tree6):
+        for (i, j), w in tree6.spoke_weight.items():
+            assert w == pytest.approx((2.0**i) * (tree6.q + j))
+
+    def test_spoke_weights_increase(self, tree6):
+        ordered = [
+            tree6.spoke_weight[(i, j)]
+            for i in range(tree6.p)
+            for j in range(tree6.q)
+        ]
+        assert ordered == sorted(ordered)
+
+    def test_path_edges_light(self, tree6):
+        for (i, j), ids in tree6.path_nodes.items():
+            for a, b in zip(ids, ids[1:]):
+                assert tree6.graph[a][b]["weight"] == pytest.approx(
+                    1.0 / tree6.n
+                )
+
+    def test_root_attached_to_middles(self, tree6):
+        for key, middle in tree6.path_middle.items():
+            assert tree6.graph.has_edge(tree6.root, middle)
+            assert tree6.graph[tree6.root][middle][
+                "weight"
+            ] == pytest.approx(tree6.spoke_weight[key])
+
+    def test_diameter_bound(self, tree6):
+        metric = GraphMetric(tree6.graph)
+        assert metric.diameter <= tree6.diameter_bound()
+
+    def test_path_sizes_respect_ideal_ordering(self, tree6):
+        """Later spokes are (weakly) larger, as n^{k/c} growth demands."""
+        sizes = [
+            len(tree6.path_nodes[(i, j)])
+            for i in range(tree6.p)
+            for j in range(tree6.q)
+        ]
+        # The last spoke is the largest (it holds ~n - n^{(c-1)/c} nodes).
+        assert sizes[-1] == max(sizes)
+        assert sizes[-1] > sum(sizes) / len(sizes)
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(PreprocessingError):
+            lower_bound_tree(6.0, 50)
+
+    def test_epsilon_out_of_range_rejected(self):
+        with pytest.raises(PreprocessingError):
+            lower_bound_tree(9.0, 512)
+
+    def test_doubling_dimension_near_bound(self):
+        tree = lower_bound_tree(6.0, 512)
+        metric = GraphMetric(tree.graph)
+        from repro.metric.doubling import doubling_dimension
+
+        measured = doubling_dimension(
+            metric,
+            centers=[tree.root, tree.path_middle[(0, 0)]],
+        )
+        assert measured <= tree.doubling_dimension_bound() + 1.0
+
+
+class TestCounting:
+    def test_congruent_count_decreases_with_i(self):
+        values = [
+            congruent_naming_log_count(1024, 32.0, i, 8) for i in range(9)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_congruent_count_positive_for_small_tables(self):
+        """With beta = o(n^{1/c}) the congruent family stays huge."""
+        n = 2**16
+        beta = n ** (1 / 8) / 100
+        assert congruent_naming_log_count(n, beta, 7, 8) > 0
+
+    def test_congruent_count_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            congruent_naming_log_count(16, 1.0, 9, 8)
+
+    def test_partition_sizes_sum_to_n(self):
+        for n, c in [(4096, 12), (1 << 20, 192)]:
+            assert sum(partition_sizes(n, c)) == pytest.approx(n)
+
+    def test_partition_first_class_singleton(self):
+        assert partition_sizes(1024, 10)[0] == 1.0
+
+    def test_claim_5_10_base_all_eps(self):
+        for eps in (0.5, 1.0, 2.0, 4.0, 6.0, 7.9):
+            assert verify_claim_5_10_base(eps)
+
+    def test_averaging_bound_monotone(self):
+        values = [averaging_bound(m) for m in range(7, 200, 10)]
+        assert values == sorted(values)
+
+    def test_averaging_bound_limits_to_four(self):
+        assert averaging_bound(10**6) == pytest.approx(4.0, abs=1e-4)
+
+    def test_averaging_bound_small_m_rejected(self):
+        with pytest.raises(ValueError):
+            averaging_bound(3)
+
+    def test_claim_5_11_holds_for_valid_eps(self):
+        for eps in (0.5, 1.0, 2.0, 4.0, 6.0):
+            assert verify_claim_5_11(eps)
+
+    @given(st.floats(min_value=0.2, max_value=7.5))
+    @settings(max_examples=50, deadline=None)
+    def test_claim_5_11_property(self, eps):
+        assert verify_claim_5_11(eps)
+
+    def test_implied_stretch(self):
+        # Searching cost A then delivering at distance d costs 2A + d.
+        assert implied_stretch(4.0, 1.0) == pytest.approx(9.0)
+
+    def test_implied_stretch_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            implied_stretch(1.0, 0.0)
+
+    def test_sequence_ratio_witness_geometric(self):
+        """For b_i = 4^i the witness ratio approaches (1+4+...)/b ~ 16/3."""
+        b = [4.0**i for i in range(10)]
+        witness = sequence_ratio_witness(b)
+        assert witness >= 4.0
+
+    def test_sequence_ratio_witness_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            sequence_ratio_witness([1.0, 1.0])
+
+    def test_sequence_ratio_witness_any_strategy_pays(self):
+        """No strictly increasing weight schedule keeps the witness
+        ratio below 4 - the heart of Claim 5.11."""
+        for ratio in (1.5, 2.0, 3.0, 4.0, 8.0):
+            b = [ratio**i for i in range(40)]
+            assert sequence_ratio_witness(b) > 3.0

@@ -1,0 +1,182 @@
+"""Tests for the scale-free name-independent scheme (Theorem 1.1)."""
+
+import math
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+
+from tests.conftest import lemma_3_4_bound
+
+
+class TestConstruction:
+    def test_packed_trees_store_extended_ball(self, nameind_sf, grid_metric):
+        """Type-B trees index the (j+2)-ball: 4 pairs per tree node."""
+        for (j, c), tree in nameind_sf._packed_trees.items():
+            size = min(grid_metric.n, 1 << (j + 2))
+            for v in grid_metric.size_ball(c, size):
+                assert tree.lookup_everywhere(nameind_sf.name_of(v))
+
+    def test_every_level_served_or_owned(self, nameind_sf):
+        """Each (i, u in Y_i) has either an own tree or an H-link."""
+        hierarchy = nameind_sf.hierarchy
+        for i in hierarchy.levels:
+            for u in hierarchy.net(i):
+                own = (i, u) in nameind_sf._own_trees
+                linked = (i, u) in nameind_sf._h_links
+                assert own != linked  # exactly one of the two
+
+    def test_h_link_conditions(self, nameind_sf, grid_metric):
+        """H(u,i) satisfies the §3.3 serving-ball conditions."""
+        eps = nameind_sf.params.epsilon
+        for (i, u), (j, c) in nameind_sf._h_links.items():
+            outer = (2.0**i) * (1 / eps + 1)
+            ball = next(
+                b
+                for b in nameind_sf.packing.packing(j)
+                if b.center == c
+            )
+            # B subseteq B_u(2^i (1/eps + 1))
+            for x in ball.members:
+                assert grid_metric.distance(u, x) <= outer + 1e-9
+            # B_u(2^i/eps) subseteq B_c(r_c(j+2))
+            extended = set(
+                grid_metric.size_ball(
+                    c, min(grid_metric.n, 1 << (j + 2))
+                )
+            )
+            for v in grid_metric.ball(u, (2.0**i) / eps):
+                assert v in extended
+
+    def test_claim_3_9_h_link_budget(self, nameind_sf, grid_metric):
+        """Claim 3.9: at most 4 log n serving balls per node."""
+        bound = 4 * max(1, grid_metric.log_n)
+        for u in grid_metric.nodes:
+            assert nameind_sf.h_link_count(u) <= bound
+
+    def test_high_levels_are_linked_not_owned(self, nameind_sf):
+        """Top levels (whole-graph balls) must use packed balls."""
+        top = nameind_sf.hierarchy.top_level
+        assert nameind_sf.h_link(0, top) is not None
+
+
+class TestRouting:
+    def test_reaches_every_destination(self, nameind_sf, grid_metric):
+        for u in range(0, grid_metric.n, 6):
+            for v in grid_metric.nodes:
+                if u == v:
+                    continue
+                assert nameind_sf.route(u, v).target == v
+
+    def test_stretch_envelope_below_half(self, grid_metric):
+        eps = 0.25
+        scheme = ScaleFreeNameIndependentScheme(
+            grid_metric, SchemeParameters(epsilon=eps)
+        )
+        pairs = [
+            (u, v)
+            for u in range(0, grid_metric.n, 3)
+            for v in range(0, grid_metric.n, 4)
+            if u != v
+        ]
+        # Algorithm 4 searches cost 2^{i+1}(1/eps + 1) instead of
+        # 2^{i+1}/eps: allow the matching (1 + eps) factor on Eqn. 6.
+        bound = lemma_3_4_bound(eps) * (1 + eps) + 1e-9
+        assert scheme.evaluate(pairs).max_stretch <= bound
+
+    def test_stretch_generous_cap_at_half(self, nameind_sf):
+        ev = nameind_sf.evaluate()
+        assert ev.max_stretch <= 9 + 8 * 0.5 + 3
+
+    def test_legs_sum_to_cost(self, nameind_sf, grid_metric):
+        for u, v in [(0, 35), (14, 2), (30, 31)]:
+            result = nameind_sf.route(u, v)
+            assert sum(result.legs.values()) == pytest.approx(result.cost)
+
+    def test_route_under_permuted_naming(self, grid_metric, params):
+        naming = [(v * 11 + 5) % grid_metric.n for v in grid_metric.nodes]
+        scheme = ScaleFreeNameIndependentScheme(
+            grid_metric, params, naming=naming
+        )
+        for u, v in [(0, 1), (5, 30), (20, 8), (35, 0)]:
+            assert scheme.route_to_name(u, naming[v]).target == v
+
+    def test_works_on_all_families(self, any_metric, params):
+        scheme = ScaleFreeNameIndependentScheme(any_metric, params)
+        for u in range(0, any_metric.n, 5):
+            for v in range(0, any_metric.n, 4):
+                if u != v:
+                    assert scheme.route(u, v).target == v
+
+
+class TestHeavyPathSubstrate:
+    def test_end_to_end_with_heavy_path_tree_routing(self, grid_metric, params):
+        """Theorem 1.1 over Theorem 1.2 over heavy-path tree routing —
+        the full FG-flavored stack."""
+        from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+        from repro.trees.heavy_path import HeavyPathRouter
+
+        underlying = ScaleFreeLabeledScheme(
+            grid_metric, params, tree_router_cls=HeavyPathRouter
+        )
+        scheme = ScaleFreeNameIndependentScheme(
+            grid_metric, params, underlying=underlying
+        )
+        for u in range(0, grid_metric.n, 7):
+            for v in range(0, grid_metric.n, 5):
+                if u != v:
+                    result = scheme.route(u, v)
+                    assert result.target == v
+                    assert result.stretch <= 9 + 8 * 0.5 + 3
+
+
+class TestStorage:
+    def test_scale_free_storage(self, params):
+        """Theorem 1.1: tables flat as Delta grows at fixed n."""
+        from repro.graphs.generators import exponential_path
+        from repro.metric.graph_metric import GraphMetric
+
+        sizes = []
+        for base in (1.5, 4.0, 16.0):
+            metric = GraphMetric(exponential_path(14, base=base))
+            scheme = ScaleFreeNameIndependentScheme(metric, params)
+            sizes.append(scheme.max_table_bits())
+        assert max(sizes) / min(sizes) <= 2.0
+
+    def test_beats_simple_scheme_on_huge_delta(self, params):
+        from repro.graphs.generators import exponential_path
+        from repro.metric.graph_metric import GraphMetric
+        from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+        metric = GraphMetric(exponential_path(14, base=16.0))
+        simple = SimpleNameIndependentScheme(metric, params)
+        scale_free = ScaleFreeNameIndependentScheme(metric, params)
+        assert (
+            scale_free.max_table_bits() < simple.max_table_bits()
+        )
+
+    def test_lemma_3_5_tree_membership(self, nameind_sf, grid_metric):
+        """Each node appears in at most O(log n) * (4/eps)^alpha trees."""
+        eps = nameind_sf.params.epsilon
+        alpha = 3.2  # measured greedy dimension of the 6x6 grid
+        per_node = {v: 0 for v in grid_metric.nodes}
+        for tree in nameind_sf._packed_trees.values():
+            for v in tree.nodes:
+                per_node[v] += 1
+        for tree in nameind_sf._own_trees.values():
+            for v in tree.nodes:
+                per_node[v] += 1
+        bound = (
+            (4 - math.log2(eps))
+            * max(1, grid_metric.log_n)
+            * (4 / eps) ** alpha
+        )
+        assert max(per_node.values()) <= bound
+
+    def test_stretch_guarantee_is_nine(self, nameind_sf):
+        assert nameind_sf.stretch_guarantee() == 9.0
+
+    def test_table_bits_positive(self, nameind_sf, grid_metric):
+        for v in grid_metric.nodes:
+            assert nameind_sf.table_bits(v) > 0

@@ -1,0 +1,153 @@
+"""Tests for the simple name-independent scheme (Theorem 1.4, Alg. 3)."""
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.core.types import RouteFailure
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+from tests.conftest import lemma_3_4_bound
+
+
+class TestConstruction:
+    def test_search_trees_exist_per_level_and_net_point(
+        self, nameind_simple
+    ):
+        hierarchy = nameind_simple.hierarchy
+        for i in hierarchy.levels:
+            for x in hierarchy.net(i):
+                tree = nameind_simple.search_tree(x, i)
+                assert tree.root == x
+
+    def test_search_trees_store_ball_names(self, nameind_simple, grid_metric):
+        """T(x, 2^i/eps) stores (name, label) for every ball member."""
+        eps = nameind_simple.params.epsilon
+        hierarchy = nameind_simple.hierarchy
+        for i in (0, 1):
+            for x in hierarchy.net(i)[:5]:
+                tree = nameind_simple.search_tree(x, i)
+                for v in grid_metric.ball(x, (2.0**i) / eps):
+                    assert tree.lookup_everywhere(
+                        nameind_simple.name_of(v)
+                    )
+
+    def test_top_tree_covers_everything(self, nameind_simple, grid_metric):
+        top = nameind_simple.hierarchy.top_level
+        tree = nameind_simple.search_tree(0, top)
+        assert sorted(tree.nodes) == list(grid_metric.nodes)
+
+
+class TestRouting:
+    def test_reaches_every_destination(self, nameind_simple, grid_metric):
+        for u in range(0, grid_metric.n, 6):
+            for v in grid_metric.nodes:
+                if u == v:
+                    continue
+                assert nameind_simple.route(u, v).target == v
+
+    def test_stretch_envelope_below_half(self, grid_metric):
+        """Lemma 3.4's exact bound holds for eps < 1/2."""
+        eps = 0.25
+        scheme = SimpleNameIndependentScheme(
+            grid_metric, SchemeParameters(epsilon=eps)
+        )
+        pairs = [
+            (u, v)
+            for u in range(0, grid_metric.n, 3)
+            for v in range(0, grid_metric.n, 4)
+            if u != v
+        ]
+        bound = lemma_3_4_bound(eps) * 1.05
+        assert scheme.evaluate(pairs).max_stretch <= bound
+
+    def test_stretch_generous_cap_at_half(self, nameind_simple, grid_metric):
+        ev = nameind_simple.evaluate()
+        assert ev.max_stretch <= 9 + 8 * 0.5
+
+    def test_legs_sum_to_cost(self, nameind_simple, grid_metric):
+        for u, v in [(0, 35), (14, 2), (30, 31)]:
+            result = nameind_simple.route(u, v)
+            assert sum(result.legs.values()) == pytest.approx(result.cost)
+
+    def test_search_phase_present(self, nameind_simple, grid_metric):
+        result = nameind_simple.route(0, grid_metric.n - 1)
+        assert result.legs["search"] > 0.0
+
+    def test_route_under_permuted_naming(self, grid_metric, params):
+        naming = [(v * 7 + 3) % grid_metric.n for v in grid_metric.nodes]
+        scheme = SimpleNameIndependentScheme(
+            grid_metric, params, naming=naming
+        )
+        for u, v in [(0, 1), (5, 30), (20, 8)]:
+            result = scheme.route_to_name(u, naming[v])
+            assert result.target == v
+
+    def test_naming_does_not_change_tables_much(self, grid_metric, params):
+        """Name-independence: storage is naming-agnostic."""
+        identity = SimpleNameIndependentScheme(grid_metric, params)
+        permuted = SimpleNameIndependentScheme(
+            grid_metric,
+            params,
+            naming=list(reversed(range(grid_metric.n))),
+        )
+        assert identity.max_table_bits() == permuted.max_table_bits()
+
+    def test_bad_name_rejected(self, nameind_simple, grid_metric):
+        with pytest.raises(RouteFailure):
+            nameind_simple.route_to_name(0, grid_metric.n)
+
+    def test_works_on_all_families(self, any_metric, params):
+        scheme = SimpleNameIndependentScheme(any_metric, params)
+        pairs = [
+            (u, v)
+            for u in range(0, any_metric.n, 5)
+            for v in range(0, any_metric.n, 4)
+            if u != v
+        ]
+        for u, v in pairs:
+            assert scheme.route(u, v).target == v
+
+
+class TestMixedStacks:
+    def test_simple_scheme_over_scalefree_underlying(
+        self, grid_metric, params, labeled_sf
+    ):
+        """Theorem 1.4's search trees compose with the Theorem 1.2
+        underlying scheme too (the §3.3 combination, halfway)."""
+        scheme = SimpleNameIndependentScheme(
+            grid_metric, params, underlying=labeled_sf
+        )
+        for u in range(0, grid_metric.n, 7):
+            for v in range(0, grid_metric.n, 5):
+                if u != v:
+                    result = scheme.route(u, v)
+                    assert result.target == v
+                    assert result.stretch <= 9 + 8 * 0.5 + 3
+
+
+class TestStorage:
+    def test_table_includes_underlying(self, nameind_simple):
+        for v in (0, 10, 30):
+            assert nameind_simple.table_bits(v) > (
+                nameind_simple.underlying.table_bits(v)
+            )
+
+    def test_header_bigger_than_underlying(self, nameind_simple):
+        assert nameind_simple.header_bits() > (
+            nameind_simple.underlying.header_bits()
+        )
+
+    def test_stretch_guarantee_is_nine(self, nameind_simple):
+        assert nameind_simple.stretch_guarantee() == 9.0
+
+    def test_storage_grows_with_log_delta(self, params):
+        from repro.graphs.generators import exponential_path
+        from repro.metric.graph_metric import GraphMetric
+
+        small = GraphMetric(exponential_path(14, base=1.2))
+        big = GraphMetric(exponential_path(14, base=4.0))
+        assert SimpleNameIndependentScheme(
+            big, params
+        ).max_table_bits() > SimpleNameIndependentScheme(
+            small, params
+        ).max_table_bits()

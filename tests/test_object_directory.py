@@ -1,0 +1,157 @@
+"""Tests for the locality-aware object directory."""
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.core.types import PreprocessingError, RouteFailure
+from repro.directory.object_directory import ObjectDirectory
+from repro.graphs.generators import grid_2d
+from repro.metric.graph_metric import GraphMetric
+
+PARAMS = SchemeParameters(epsilon=0.25)
+
+
+@pytest.fixture()
+def directory():
+    return ObjectDirectory(GraphMetric(grid_2d(5)), PARAMS)
+
+
+class TestPublish:
+    def test_publish_records_holder(self, directory):
+        directory.publish("obj", 7)
+        assert directory.holders("obj") == {7}
+
+    def test_multiple_holders(self, directory):
+        directory.publish("obj", 3)
+        directory.publish("obj", 21)
+        assert directory.holders("obj") == {3, 21}
+
+    def test_registration_count_polylog(self, directory):
+        directory.publish("obj", 12)
+        count = directory.registration_count("obj")
+        levels = directory._hierarchy.top_level + 1
+        # (1/eps)^O(alpha) registrations per level, NOT one per node:
+        # far below n entries per level.
+        assert 0 < count <= 16 * levels
+        assert count < directory._metric.n * levels / 2
+
+    def test_publish_bad_holder_rejected(self, directory):
+        with pytest.raises(PreprocessingError):
+            directory.publish("obj", 999)
+
+    def test_unpublish_removes(self, directory):
+        directory.publish("obj", 7)
+        directory.unpublish("obj", 7)
+        assert directory.holders("obj") == set()
+        assert directory.registration_count("obj") == 0
+
+    def test_unpublish_keeps_other_copies(self, directory):
+        directory.publish("obj", 7)
+        directory.publish("obj", 21)
+        directory.unpublish("obj", 7)
+        assert directory.holders("obj") == {21}
+        result = directory.lookup(0, "obj")
+        assert result.holder == 21
+
+
+class TestLookup:
+    def test_unpublished_lookup_raises(self, directory):
+        with pytest.raises(RouteFailure):
+            directory.lookup(0, "ghost")
+
+    def test_lookup_finds_single_copy(self, directory):
+        directory.publish("obj", 24)
+        for origin in (0, 7, 12, 24):
+            result = directory.lookup(origin, "obj")
+            assert result.holder == 24
+
+    def test_lookup_path_starts_at_origin(self, directory):
+        directory.publish("obj", 24)
+        result = directory.lookup(3, "obj")
+        assert result.path[0] == 3
+        assert result.path[-1] == 24
+
+    def test_single_copy_locality_meets_lemma_3_4(self, directory):
+        """One copy: the paper's 9 + O(eps) bound applies verbatim."""
+        directory.publish("obj", 24)
+        inv = 1.0 / PARAMS.epsilon
+        bound = 1.0 + 8.0 * (inv + 1.0) / (inv - 2.0)
+        for origin in directory._metric.nodes:
+            if origin == 24:
+                continue
+            result = directory.lookup(origin, "obj")
+            assert result.locality_ratio <= bound * 1.05
+
+    def test_replicated_copies_locality(self, directory):
+        """Many copies: cost stays within the directory's envelope of
+        the distance to the NEAREST copy."""
+        for holder in (0, 4, 20, 24, 12):
+            directory.publish("obj", holder)
+        bound = directory.locality_guarantee()
+        for origin in directory._metric.nodes:
+            result = directory.lookup(origin, "obj")
+            if result.nearest_copy_distance > 0:
+                assert result.locality_ratio <= bound * 1.05
+
+    def test_replication_reduces_cost(self, directory):
+        directory.publish("obj", 24)
+        single = directory.lookup(0, "obj").cost
+        directory.publish("obj", 1)
+        replicated = directory.lookup(0, "obj").cost
+        assert replicated <= single + 1e-9
+
+    def test_lookup_from_holder_is_free_ish(self, directory):
+        directory.publish("obj", 6)
+        result = directory.lookup(6, "obj")
+        assert result.holder == 6
+        # Only the local level-0 search tree is consulted.
+        assert result.cost <= 2 * (1 + PARAMS.epsilon) / PARAMS.epsilon
+
+    def test_mobile_object(self, directory):
+        directory.publish("obj", 0)
+        assert directory.lookup(20, "obj").holder == 0
+        directory.unpublish("obj", 0)
+        directory.publish("obj", 24)
+        assert directory.lookup(20, "obj").holder == 24
+
+    def test_distinct_objects_do_not_interfere(self, directory):
+        directory.publish("a", 0)
+        directory.publish("b", 24)
+        assert directory.lookup(12, "a").holder == 0
+        assert directory.lookup(12, "b").holder == 24
+
+
+class TestDirectoryProperties:
+    def test_random_publish_lookup_rounds(self):
+        """Randomized churn: publish/unpublish/lookup cycles keep every
+        lookup correct and within the locality envelope."""
+        import random
+
+        metric = GraphMetric(grid_2d(5))
+        directory = ObjectDirectory(metric, PARAMS)
+        rng = random.Random(7)
+        live = {}
+        for step in range(60):
+            action = rng.random()
+            obj = f"obj-{rng.randrange(4)}"
+            if action < 0.45:
+                holder = rng.randrange(metric.n)
+                directory.publish(obj, holder)
+                live.setdefault(obj, set()).add(holder)
+            elif action < 0.6 and live.get(obj):
+                holder = rng.choice(sorted(live[obj]))
+                directory.unpublish(obj, holder)
+                live[obj].discard(holder)
+                if not live[obj]:
+                    del live[obj]
+            elif live.get(obj):
+                origin = rng.randrange(metric.n)
+                result = directory.lookup(origin, obj)
+                assert result.holder in live[obj]
+                if result.nearest_copy_distance > 0:
+                    assert result.locality_ratio <= (
+                        directory.locality_guarantee() * 1.05
+                    )
+        # Final consistency: directory's holder sets match our model.
+        for obj, holders in live.items():
+            assert directory.holders(obj) == holders

@@ -1,0 +1,121 @@
+"""Property-based tests: scheme correctness on random graphs/namings.
+
+These are the heaviest hypothesis tests: they build full schemes on
+random connected weighted graphs and assert the end-to-end invariants —
+every route terminates at its target, cost is consistent, stretch obeys
+the theorem envelopes, and name-independence genuinely holds under
+arbitrary namings.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SchemeParameters
+from repro.metric.graph_metric import GraphMetric
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+from tests.test_rnet import random_connected_graph
+
+PARAMS = SchemeParameters(epsilon=0.5)
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestLabeledSchemesOnRandomGraphs:
+    @given(graph=random_connected_graph())
+    @SLOW
+    def test_nonscalefree_routes_everywhere(self, graph):
+        metric = GraphMetric(graph)
+        scheme = NonScaleFreeLabeledScheme(metric, PARAMS)
+        for u in metric.nodes:
+            for v in metric.nodes:
+                result = scheme.route(u, v)
+                assert result.target == v
+                assert result.cost >= result.optimal - 1e-9
+                if u != v:
+                    assert result.stretch <= 1 + 8 * PARAMS.epsilon + 1e-6
+
+    @given(graph=random_connected_graph())
+    @SLOW
+    def test_scalefree_routes_everywhere(self, graph):
+        metric = GraphMetric(graph)
+        scheme = ScaleFreeLabeledScheme(metric, PARAMS)
+        for u in metric.nodes:
+            for v in metric.nodes:
+                result = scheme.route(u, v)
+                assert result.target == v
+                if u != v:
+                    assert result.stretch <= 1 + 8 * PARAMS.epsilon + 1e-6
+        assert scheme.fallback_count == 0
+
+
+class TestNameIndependentSchemesOnRandomGraphs:
+    @given(
+        graph=random_connected_graph(),
+        shift=st.integers(min_value=1, max_value=1000),
+    )
+    @SLOW
+    def test_simple_scheme_any_naming(self, graph, shift):
+        metric = GraphMetric(graph)
+        step = shift % metric.n
+        if math.gcd(step, metric.n) != 1:
+            step = 1
+        naming = [(v * step + shift) % metric.n for v in metric.nodes]
+        if sorted(naming) != list(range(metric.n)):
+            naming = list(metric.nodes)
+        scheme = SimpleNameIndependentScheme(metric, PARAMS, naming=naming)
+        for u in metric.nodes:
+            for v in metric.nodes:
+                if u == v:
+                    continue
+                result = scheme.route_to_name(u, naming[v])
+                assert result.target == v
+                assert result.cost >= result.optimal - 1e-9
+
+    @given(graph=random_connected_graph())
+    @SLOW
+    def test_scalefree_scheme_reaches_targets(self, graph):
+        metric = GraphMetric(graph)
+        scheme = ScaleFreeNameIndependentScheme(metric, PARAMS)
+        for u in metric.nodes:
+            for v in metric.nodes:
+                assert scheme.route(u, v).target == v
+
+    @given(graph=random_connected_graph())
+    @SLOW
+    def test_claim_3_9_on_random_graphs(self, graph):
+        metric = GraphMetric(graph)
+        scheme = ScaleFreeNameIndependentScheme(metric, PARAMS)
+        bound = 4 * max(1, metric.log_n)
+        for u in metric.nodes:
+            assert scheme.h_link_count(u) <= bound
+
+
+class TestStretchEnvelopeProperty:
+    @given(
+        graph=random_connected_graph(),
+        eps_percent=st.sampled_from([20, 30, 40]),
+    )
+    @SLOW
+    def test_nameind_envelope_below_half(self, graph, eps_percent):
+        """Lemma 3.4's exact Eqn.-6 envelope on random graphs, eps<1/2."""
+        eps = eps_percent / 100.0
+        metric = GraphMetric(graph)
+        scheme = SimpleNameIndependentScheme(
+            metric, SchemeParameters(epsilon=eps)
+        )
+        inv = 1.0 / eps
+        bound = (1.0 + 8.0 * (inv + 1.0) / (inv - 2.0)) * 1.05
+        for u in metric.nodes:
+            for v in metric.nodes:
+                if u != v:
+                    assert scheme.route(u, v).stretch <= bound

@@ -1,0 +1,116 @@
+"""Extended property tests: scale-free schemes across epsilon values,
+oracle/scheme consistency, and substrate cross-checks on random graphs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SchemeParameters
+from repro.metric.graph_metric import GraphMetric
+from repro.oracle.distance_oracle import DistanceOracle
+from repro.packing.ballpacking import BallPacking
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.trees.heavy_path import HeavyPathRouter
+from repro.trees.spt import ShortestPathTree
+from repro.trees.tree_router import TreeRouter
+
+from tests.test_rnet import random_connected_graph
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestScaleFreeAcrossEpsilon:
+    @given(
+        graph=random_connected_graph(),
+        eps_percent=st.sampled_from([15, 25, 40, 50]),
+    )
+    @SLOW
+    def test_labeled_scalefree_envelope(self, graph, eps_percent):
+        eps = eps_percent / 100.0
+        metric = GraphMetric(graph)
+        scheme = ScaleFreeLabeledScheme(
+            metric, SchemeParameters(epsilon=eps)
+        )
+        for u in metric.nodes:
+            for v in metric.nodes:
+                result = scheme.route(u, v)
+                assert result.target == v
+                if u != v:
+                    assert result.stretch <= 1 + 8 * eps + 1e-6
+        assert scheme.fallback_count == 0
+
+    @given(graph=random_connected_graph())
+    @SLOW
+    def test_heavy_path_substrate_equivalent(self, graph):
+        """Interval and heavy-path substrates give identical stretch."""
+        metric = GraphMetric(graph)
+        params = SchemeParameters(epsilon=0.5)
+        interval = ScaleFreeLabeledScheme(
+            metric, params, tree_router_cls=TreeRouter
+        )
+        heavy = ScaleFreeLabeledScheme(
+            metric,
+            params,
+            hierarchy=interval.hierarchy,
+            packing=interval.packing,
+            tree_router_cls=HeavyPathRouter,
+        )
+        for u in metric.nodes:
+            for v in metric.nodes:
+                a = interval.route(u, v)
+                b = heavy.route(u, v)
+                assert a.cost == pytest.approx(b.cost, rel=1e-9, abs=1e-9)
+
+
+class TestOracleSchemeConsistency:
+    @given(graph=random_connected_graph())
+    @SLOW
+    def test_oracle_lower_bounds_any_route(self, graph):
+        """The oracle estimate upper-bounds d, which lower-bounds every
+        scheme's route cost: est >= d and cost >= d, both anchored to
+        the same metric."""
+        metric = GraphMetric(graph)
+        params = SchemeParameters(epsilon=0.25)
+        oracle = DistanceOracle(metric, params)
+        scheme = ScaleFreeLabeledScheme(metric, params)
+        for u in metric.nodes:
+            for v in metric.nodes:
+                if u == v:
+                    continue
+                d = metric.distance(u, v)
+                assert oracle.estimate(u, v) >= d - 1e-9
+                assert scheme.route(u, v).cost >= d - 1e-9
+
+
+class TestSubstrateCrossChecks:
+    @given(graph=random_connected_graph())
+    @SLOW
+    def test_voronoi_trees_partition_within_level(self, graph):
+        """Every node belongs to exactly one Voronoi cell per level, and
+        its cell's tree contains it."""
+        from repro.trees.spt import voronoi_partition
+
+        metric = GraphMetric(graph)
+        packing = BallPacking(metric)
+        for j in packing.levels:
+            cells = voronoi_partition(metric, packing.centers(j))
+            seen = sorted(v for cell in cells.values() for v in cell)
+            assert seen == list(metric.nodes)
+            for c, cell in cells.items():
+                tree = ShortestPathTree(metric, c, cell)
+                for v in cell:
+                    assert tree.contains(v)
+
+    @given(graph=random_connected_graph())
+    @SLOW
+    def test_packing_sizes_clamp_consistently(self, graph):
+        metric = GraphMetric(graph)
+        packing = BallPacking(metric)
+        top = packing.top_level
+        assert len(packing.packing(top)) == 1
+        assert packing.packing(top)[0].members == frozenset(metric.nodes)

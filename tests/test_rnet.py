@@ -1,0 +1,125 @@
+"""Tests for greedy r-net construction (Definition 2.1), incl. hypothesis."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import grid_2d, path_graph
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.rnet import greedy_rnet, is_rnet
+
+
+class TestGreedyRNet:
+    def test_radius_one_net_is_everything(self, grid_metric):
+        net = greedy_rnet(grid_metric, 1.0)
+        assert net == list(grid_metric.nodes)
+
+    def test_huge_radius_net_is_singleton(self, grid_metric):
+        net = greedy_rnet(grid_metric, 10 * grid_metric.diameter)
+        assert len(net) == 1
+
+    def test_is_valid_rnet(self, any_metric):
+        for r in (1.0, 2.0, 4.0):
+            net = greedy_rnet(any_metric, r)
+            assert is_rnet(any_metric, r, net)
+
+    def test_seed_preserved(self, grid_metric):
+        coarse = greedy_rnet(grid_metric, 8.0)
+        fine = greedy_rnet(grid_metric, 4.0, seed=coarse)
+        assert set(coarse) <= set(fine)
+
+    def test_deterministic(self, grid_metric):
+        assert greedy_rnet(grid_metric, 3.0) == greedy_rnet(grid_metric, 3.0)
+
+    def test_restricted_universe_covered(self, grid_metric):
+        universe = list(range(0, grid_metric.n, 2))
+        net = greedy_rnet(grid_metric, 2.0, universe=universe)
+        for v in universe:
+            assert any(
+                grid_metric.distance(v, x) <= 2.0 + 1e-9 for x in net
+            )
+
+    def test_nonpositive_radius_rejected(self, grid_metric):
+        with pytest.raises(ValueError):
+            greedy_rnet(grid_metric, 0.0)
+
+    def test_net_size_decreases_with_radius(self, grid_metric):
+        sizes = [
+            len(greedy_rnet(grid_metric, float(r))) for r in (1, 2, 4, 8)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_packing_lemma_2_2_bound(self, grid_metric):
+        """Lemma 2.2: |B_u(r') ∩ Y| <= (4r'/r)^alpha for an r-net Y."""
+        r = 2.0
+        net = set(greedy_rnet(grid_metric, r))
+        alpha = 3.2  # measured greedy doubling dimension of the 6x6 grid
+        for u in grid_metric.nodes:
+            for r_prime in (2.0, 4.0, 8.0):
+                count = sum(
+                    1 for x in grid_metric.ball(u, r_prime) if x in net
+                )
+                assert count <= (4 * r_prime / r) ** alpha + 1e-9
+
+
+class TestIsRNet:
+    def test_rejects_non_covering(self):
+        metric = GraphMetric(path_graph(10))
+        assert not is_rnet(metric, 1.0, [0])
+
+    def test_rejects_non_packing(self):
+        metric = GraphMetric(path_graph(10))
+        assert not is_rnet(metric, 3.0, [0, 1, 5, 9])
+
+    def test_rejects_empty(self, grid_metric):
+        assert not is_rnet(grid_metric, 1.0, [])
+
+    def test_accepts_hand_built(self):
+        metric = GraphMetric(path_graph(9))
+        assert is_rnet(metric, 2.0, [0, 2, 4, 6, 8])
+
+
+@st.composite
+def random_connected_graph(draw):
+    """Random connected weighted graph on 4-16 nodes."""
+    n = draw(st.integers(min_value=4, max_value=16))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    # Random spanning tree first (guarantees connectivity).
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        weight = draw(st.integers(min_value=1, max_value=8))
+        graph.add_edge(parent, v, weight=float(weight))
+    # A few extra edges.
+    extras = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extras):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and not graph.has_edge(u, v):
+            weight = draw(st.integers(min_value=1, max_value=8))
+            graph.add_edge(u, v, weight=float(weight))
+    return graph
+
+
+class TestRNetProperties:
+    @given(graph=random_connected_graph(), r_exp=st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_net_always_valid(self, graph, r_exp):
+        metric = GraphMetric(graph)
+        r = float(2**r_exp)
+        net = greedy_rnet(metric, r)
+        assert is_rnet(metric, r, net)
+
+    @given(graph=random_connected_graph())
+    @settings(max_examples=25, deadline=None)
+    def test_nested_nets_stay_valid(self, graph):
+        """The paper's top-down expansion yields valid nets at each level."""
+        metric = GraphMetric(graph)
+        top = metric.log_diameter
+        net = [0]
+        for i in range(top - 1, -1, -1):
+            net = greedy_rnet(metric, float(2**i), seed=net)
+            assert is_rnet(metric, float(2**i), net)

@@ -1,0 +1,163 @@
+"""Tests for bit streams and header codecs (repro.runtime)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SchemeParameters
+from repro.runtime.bitstream import BitReader, BitWriter
+from repro.runtime.headers import (
+    FieldSpec,
+    HeaderCodec,
+    labeled_scalefree_codec,
+    labeled_simple_codec,
+    name_independent_codec,
+)
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+
+class TestBitStream:
+    def test_round_trip_simple(self):
+        writer = BitWriter()
+        writer.write(5, 3)
+        writer.write(1, 1)
+        writer.write(200, 8)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert reader.read(3) == 5
+        assert reader.read(1) == 1
+        assert reader.read(8) == 200
+        assert reader.remaining == 0
+
+    def test_overflow_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_read_past_end_rejected(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        reader.read(1)
+        with pytest.raises(ValueError):
+            reader.read(1)
+
+    def test_zero_width_field(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=24),
+                st.integers(min_value=0),
+            ).map(lambda t: (t[0], t[1] % (1 << t[0]))),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, fields):
+        writer = BitWriter()
+        for width, value in fields:
+            writer.write(value, width)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        for width, value in fields:
+            assert reader.read(width) == value
+
+
+class TestHeaderCodec:
+    def test_total_bits(self):
+        codec = HeaderCodec([FieldSpec("a", 3), FieldSpec("b", 5)])
+        assert codec.total_bits == 8
+
+    def test_encode_decode_round_trip(self):
+        codec = HeaderCodec([FieldSpec("a", 4), FieldSpec("b", 9)])
+        data, bits = codec.encode({"a": 7, "b": 300})
+        assert bits == 13
+        assert codec.decode(data, bits) == {"a": 7, "b": 300}
+
+    def test_missing_fields_default_zero(self):
+        codec = HeaderCodec([FieldSpec("a", 4)])
+        data, bits = codec.encode({})
+        assert codec.decode(data, bits)["a"] == 0
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderCodec([FieldSpec("a", 1), FieldSpec("a", 2)])
+
+    def test_decode_wrong_length_rejected(self):
+        codec = HeaderCodec([FieldSpec("a", 4)])
+        data, bits = codec.encode({"a": 1})
+        with pytest.raises(ValueError):
+            codec.decode(data, bits + 1)
+
+    def test_bad_field_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpec("", 3)
+        with pytest.raises(ValueError):
+            FieldSpec("a", -1)
+
+
+class TestSchemeCodecs:
+    def test_simple_codec_is_one_label(self, grid_metric):
+        codec = labeled_simple_codec(grid_metric)
+        assert codec.total_bits == 6
+
+    def test_scalefree_codec_fields(self, grid_metric):
+        codec = labeled_scalefree_codec(grid_metric)
+        names = [f.name for f in codec.fields]
+        assert "target_label" in names
+        assert "packing_level" in names
+        assert "tree_target" in names
+
+    def test_name_independent_codec_nests(self, grid_metric):
+        inner = labeled_simple_codec(grid_metric)
+        outer = name_independent_codec(grid_metric, inner)
+        assert outer.total_bits > inner.total_bits
+        assert any(f.name == "sub_target_label" for f in outer.fields)
+
+    def test_header_bits_match_codec(self, grid_metric, params):
+        """Every scheme's header_bits equals its codec's bit size."""
+        for scheme in (
+            NonScaleFreeLabeledScheme(grid_metric, params),
+            ScaleFreeLabeledScheme(grid_metric, params),
+        ):
+            assert scheme.header_bits() == scheme.header_codec().total_bits
+
+        labeled = ScaleFreeLabeledScheme(grid_metric, params)
+        for scheme in (
+            SimpleNameIndependentScheme(grid_metric, params),
+            ScaleFreeNameIndependentScheme(
+                grid_metric, params, underlying=labeled
+            ),
+        ):
+            assert scheme.header_bits() == scheme.header_codec().total_bits
+
+    def test_worst_case_header_encodable(self, grid_metric, params):
+        """The widest legal field values round-trip for each scheme."""
+        scheme = ScaleFreeLabeledScheme(grid_metric, params)
+        codec = scheme.header_codec()
+        values = {
+            f.name: (1 << f.width) - 1 for f in codec.fields
+        }
+        data, bits = codec.encode(values)
+        assert codec.decode(data, bits) == values
+
+    def test_heavy_path_labels_widen_header(self, grid_metric, params):
+        from repro.trees.heavy_path import HeavyPathRouter
+
+        interval = ScaleFreeLabeledScheme(grid_metric, params)
+        heavy = ScaleFreeLabeledScheme(
+            grid_metric, params, tree_router_cls=HeavyPathRouter
+        )
+        # FG-style labels are log^2-ish, interval labels log n: the
+        # header codec reflects the substrate choice.
+        assert heavy.header_bits() >= interval.header_bits()

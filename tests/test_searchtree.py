@@ -1,0 +1,235 @@
+"""Tests for search trees (Def. 3.2 / 4.2, Algorithms 1-2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import PreprocessingError
+from repro.graphs.generators import path_graph
+from repro.metric.graph_metric import GraphMetric
+from repro.searchtree.tree import SearchTree
+
+from tests.test_rnet import random_connected_graph
+
+EPS = 0.5
+
+
+def _stored_tree(metric, center=0, radius=None, epsilon=EPS, **kwargs):
+    if radius is None:
+        radius = metric.diameter
+    tree = SearchTree(metric, center, radius, epsilon, **kwargs)
+    tree.store({v: v * 10 for v in tree.nodes})
+    return tree
+
+
+class TestStructure:
+    def test_nodes_are_ball_members(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, 3.0, EPS)
+        assert tree.nodes == sorted(grid_metric.ball(0, 3.0))
+
+    def test_explicit_members(self, grid_metric):
+        members = [0, 1, 6, 7]
+        tree = SearchTree(grid_metric, 0, 5.0, EPS, members=members)
+        assert tree.nodes == members
+
+    def test_center_must_be_member(self, grid_metric):
+        with pytest.raises(PreprocessingError):
+            SearchTree(grid_metric, 0, 5.0, EPS, members=[1, 2])
+
+    def test_negative_radius_rejected(self, grid_metric):
+        with pytest.raises(PreprocessingError):
+            SearchTree(grid_metric, 0, -1.0, EPS)
+
+    def test_root_is_center(self, grid_metric):
+        assert SearchTree(grid_metric, 7, 4.0, EPS).root == 7
+
+    def test_every_node_connected_to_root(self, any_metric):
+        tree = SearchTree(any_metric, 0, any_metric.diameter, EPS)
+        for v in tree.nodes:
+            steps = 0
+            current = v
+            while current != tree.root:
+                current = tree.parent_of(current)
+                steps += 1
+                assert steps <= tree.size
+
+    def test_parent_child_consistent(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, grid_metric.diameter, EPS)
+        for v in tree.nodes:
+            for child in tree.children_of(v):
+                assert tree.parent_of(child) == v
+
+    def test_height_bound_eqn_3(self, any_metric):
+        """Paper Eqn. 3: height <= (1+eps) r."""
+        radius = any_metric.diameter / 2.0
+        tree = SearchTree(any_metric, 0, radius, EPS)
+        assert tree.height() <= (1 + EPS) * radius + 1e-6
+
+    def test_degenerate_radius_flat_tree(self, grid_metric):
+        # eps*r < 2: all ball members hang off the root directly.
+        tree = SearchTree(grid_metric, 0, 2.0, EPS)
+        for v in tree.nodes:
+            if v != 0:
+                assert tree.parent_of(v) == 0
+
+    def test_singleton_ball(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, 0.0, EPS)
+        assert tree.nodes == [0]
+        tree.store({99: "x"})
+        assert tree.search(99).found
+
+
+class TestStoreAndSearch:
+    def test_search_before_store_rejected(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, 3.0, EPS)
+        with pytest.raises(PreprocessingError):
+            tree.search(0)
+
+    def test_all_keys_retrievable(self, any_metric):
+        tree = _stored_tree(any_metric)
+        for v in tree.nodes:
+            outcome = tree.search(v)
+            assert outcome.found
+            assert outcome.data == v * 10
+
+    def test_missing_key_not_found(self, grid_metric):
+        tree = _stored_tree(grid_metric)
+        outcome = tree.search(10**9)
+        assert not outcome.found
+        assert outcome.data is None
+
+    def test_trail_round_trip(self, grid_metric):
+        tree = _stored_tree(grid_metric)
+        for key in (0, 17, 35):
+            trail = tree.search(key).trail
+            assert trail[0] == tree.root
+            assert trail[-1] == tree.root
+
+    def test_search_cost_bounded(self, any_metric):
+        """Algorithm 2 costs at most 2 x height <= 2(1+eps) r."""
+        radius = any_metric.diameter
+        tree = _stored_tree(any_metric, radius=radius)
+        for v in tree.nodes:
+            assert tree.search(v).cost <= 2 * (1 + EPS) * radius + 1e-6
+
+    def test_string_keys(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, 3.0, EPS)
+        pairs = {f"name-{v:03d}": v for v in tree.nodes}
+        tree.store(pairs)
+        for key, v in pairs.items():
+            assert tree.search(key).data == v
+
+    def test_more_pairs_than_nodes(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, 2.0, EPS)
+        pairs = {k: -k for k in range(4 * tree.size)}
+        tree.store(pairs)
+        for k in pairs:
+            assert tree.search(k).data == -k
+
+    def test_fewer_pairs_than_nodes(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, grid_metric.diameter, EPS)
+        tree.store({1: "one", 2: "two"})
+        assert tree.search(1).data == "one"
+        assert tree.search(2).data == "two"
+        assert not tree.search(3).found
+
+    def test_pairs_distributed_evenly(self, grid_metric):
+        """Algorithm 1: each node holds at most ceil(k/m) pairs."""
+        tree = SearchTree(grid_metric, 0, grid_metric.diameter, EPS)
+        pairs = {k: k for k in range(100, 100 + 2 * tree.size)}
+        tree.store(pairs)
+        cap = math.ceil(len(pairs) / tree.size)
+        for v in tree.nodes:
+            assert len(tree._pairs_at.get(v, {})) <= cap
+
+    def test_restore_replaces(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, 3.0, EPS)
+        tree.store({1: "a"})
+        tree.store({2: "b"})
+        assert not tree.search(1).found
+        assert tree.search(2).data == "b"
+
+
+class TestCappedVariant:
+    def test_chains_created_when_capped(self, exponential_metric):
+        radius = exponential_metric.diameter
+        capped = SearchTree(
+            exponential_metric, 0, radius, EPS,
+            level_cap=exponential_metric.log_n,
+        )
+        # eps * r >> n here, so Definition 4.2 (ii) chains must appear.
+        assert capped.chain_edge_count > 0
+
+    def test_capped_tree_still_retrieves(self, exponential_metric):
+        tree = _stored_tree(
+            exponential_metric,
+            radius=exponential_metric.diameter,
+            level_cap=exponential_metric.log_n,
+        )
+        for v in tree.nodes:
+            assert tree.search(v).data == v * 10
+
+    def test_capped_height_bound(self, exponential_metric):
+        """Def 4.2 remark: height <= (1+O(eps)) r."""
+        radius = exponential_metric.diameter
+        tree = SearchTree(
+            exponential_metric, 0, radius, EPS,
+            level_cap=exponential_metric.log_n,
+        )
+        assert tree.height() <= (1 + 3 * EPS) * radius + 1e-6
+
+    def test_no_chains_when_cap_not_binding(self, grid_metric):
+        tree = SearchTree(
+            grid_metric, 0, grid_metric.diameter, EPS, level_cap=100
+        )
+        assert tree.chain_edge_count == 0
+
+
+class TestStorageBits:
+    def test_bits_cover_all_nodes(self, grid_metric):
+        tree = _stored_tree(grid_metric)
+        bits = tree.storage_bits(6, 6)
+        assert set(bits) == set(tree.nodes)
+
+    def test_bits_before_store_rejected(self, grid_metric):
+        tree = SearchTree(grid_metric, 0, 3.0, EPS)
+        with pytest.raises(PreprocessingError):
+            tree.storage_bits(6, 6)
+
+    def test_bits_positive_and_bounded(self, grid_metric):
+        tree = _stored_tree(grid_metric)
+        bits = tree.storage_bits(6, 6)
+        degree = tree.max_degree()
+        upper = (degree + 1) * 6 + (degree + 1) * 12 + 4 * tree.size * 12
+        for v, b in bits.items():
+            assert 0 < b <= upper
+
+
+class TestSearchTreeProperties:
+    @given(graph=random_connected_graph())
+    @settings(max_examples=25, deadline=None)
+    def test_store_retrieve_roundtrip(self, graph):
+        metric = GraphMetric(graph)
+        tree = SearchTree(metric, 0, metric.diameter, EPS)
+        pairs = {v * 3 + 1: str(v) for v in tree.nodes}
+        tree.store(pairs)
+        for key, value in pairs.items():
+            outcome = tree.search(key)
+            assert outcome.found and outcome.data == value
+        assert not tree.search(-5).found
+
+    @given(
+        graph=random_connected_graph(),
+        cap=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_capped_roundtrip(self, graph, cap):
+        metric = GraphMetric(graph)
+        tree = SearchTree(metric, 0, metric.diameter, EPS, level_cap=cap)
+        assert sorted(tree.nodes) == sorted(metric.nodes)
+        pairs = {v: v for v in tree.nodes}
+        tree.store(pairs)
+        for v in tree.nodes:
+            assert tree.search(v).data == v

@@ -1,0 +1,148 @@
+"""Tests for the discrete-event traffic simulator."""
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.graphs.generators import path_graph
+from repro.metric.graph_metric import GraphMetric
+from repro.runtime.simulator import (
+    Demand,
+    TrafficSimulator,
+    uniform_demands,
+)
+from repro.schemes.shortest_path import ShortestPathScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+
+@pytest.fixture(scope="module")
+def path_scheme():
+    return ShortestPathScheme(GraphMetric(path_graph(6)))
+
+
+class TestBasics:
+    def test_all_packets_delivered(self, path_scheme):
+        demands = [Demand(0, 5), Demand(5, 0), Demand(2, 3)]
+        report = TrafficSimulator(path_scheme).run(demands)
+        assert report.delivered == 3
+
+    def test_self_demand_delivered_instantly(self, path_scheme):
+        report = TrafficSimulator(path_scheme).run([Demand(2, 2)])
+        assert report.packets[0].latency == 0.0
+
+    def test_uncongested_latency_is_propagation_plus_service(
+        self, path_scheme
+    ):
+        report = TrafficSimulator(path_scheme, service_time=1.0).run(
+            [Demand(0, 5)]
+        )
+        packet = report.packets[0]
+        # 5 hops of distance 1, each with 1 unit serialization.
+        assert packet.latency == pytest.approx(5 + 5)
+        assert packet.propagation == pytest.approx(5.0)
+        assert packet.queueing == 0.0
+
+    def test_zero_service_time_is_pure_propagation(self, path_scheme):
+        report = TrafficSimulator(path_scheme, service_time=0.0).run(
+            [Demand(0, 5)]
+        )
+        assert report.packets[0].latency == pytest.approx(5.0)
+
+    def test_negative_service_time_rejected(self, path_scheme):
+        with pytest.raises(ValueError):
+            TrafficSimulator(path_scheme, service_time=-1.0)
+
+
+class TestQueueing:
+    def test_simultaneous_packets_queue_on_shared_link(self, path_scheme):
+        # Two packets injected together on the same route: the second
+        # waits one service slot at every shared link.
+        demands = [Demand(0, 5, 0.0), Demand(0, 5, 0.0)]
+        report = TrafficSimulator(path_scheme, service_time=1.0).run(
+            demands
+        )
+        first, second = report.packets
+        assert first.queueing == 0.0
+        assert second.queueing > 0.0
+        assert second.delivered_at > first.delivered_at
+
+    def test_fifo_order_preserved_per_link(self, path_scheme):
+        demands = [Demand(0, 5, float(i) * 0.01) for i in range(4)]
+        report = TrafficSimulator(path_scheme, service_time=1.0).run(
+            demands
+        )
+        times = [p.delivered_at for p in report.packets]
+        assert times == sorted(times)
+
+    def test_opposite_directions_do_not_queue(self, path_scheme):
+        # Directed links: 0->5 and 5->0 traffic never shares a queue.
+        demands = [Demand(0, 5, 0.0), Demand(5, 0, 0.0)]
+        report = TrafficSimulator(path_scheme, service_time=1.0).run(
+            demands
+        )
+        assert all(p.queueing == 0.0 for p in report.packets)
+
+    def test_spaced_packets_do_not_queue(self, path_scheme):
+        demands = [Demand(0, 5, 0.0), Demand(0, 5, 100.0)]
+        report = TrafficSimulator(path_scheme, service_time=1.0).run(
+            demands
+        )
+        assert all(p.queueing == 0.0 for p in report.packets)
+
+
+class TestReports:
+    def test_busiest_links(self, path_scheme):
+        demands = [Demand(0, 5), Demand(0, 3), Demand(1, 4)]
+        report = TrafficSimulator(path_scheme).run(demands)
+        links = dict(report.busiest_links(top=10))
+        assert links[(1, 2)] == 3  # all three packets cross 1->2
+        assert links[(4, 5)] == 1
+
+    def test_total_traffic(self, path_scheme):
+        report = TrafficSimulator(path_scheme).run(
+            [Demand(0, 2), Demand(3, 5)]
+        )
+        assert report.total_traffic() == pytest.approx(4.0)
+
+    def test_statistics(self, path_scheme):
+        report = TrafficSimulator(path_scheme, service_time=0.0).run(
+            [Demand(0, 1), Demand(0, 5)]
+        )
+        assert report.mean_latency() == pytest.approx(3.0)
+        assert report.max_latency() == pytest.approx(5.0)
+
+
+class TestWithCompactScheme:
+    def test_name_independent_scheme_under_load(self, grid_metric, params):
+        scheme = SimpleNameIndependentScheme(grid_metric, params)
+        demands = uniform_demands(grid_metric.n, 60, rate=2.0, seed=3)
+        report = TrafficSimulator(scheme, service_time=0.5).run(demands)
+        assert report.delivered == 60
+        # Compact-routing detours inflate traffic versus the oracle.
+        oracle = ShortestPathScheme(grid_metric, params)
+        oracle_report = TrafficSimulator(oracle, service_time=0.5).run(
+            demands
+        )
+        assert report.total_traffic() >= oracle_report.total_traffic()
+
+
+class TestUniformDemands:
+    def test_deterministic(self):
+        assert uniform_demands(10, 5, seed=1) == uniform_demands(
+            10, 5, seed=1
+        )
+
+    def test_times_increasing(self):
+        demands = uniform_demands(10, 20, seed=2)
+        times = [d.inject_at for d in demands]
+        assert times == sorted(times)
+
+    def test_no_self_demands(self):
+        assert all(
+            d.source != d.target for d in uniform_demands(5, 50, seed=3)
+        )
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_demands(1, 5)
+        with pytest.raises(ValueError):
+            uniform_demands(5, 5, rate=0.0)

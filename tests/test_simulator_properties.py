@@ -1,0 +1,77 @@
+"""Property-based tests for the traffic simulator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SchemeParameters
+from repro.graphs.generators import grid_2d
+from repro.metric.graph_metric import GraphMetric
+from repro.runtime.simulator import Demand, TrafficSimulator
+from repro.schemes.shortest_path import ShortestPathScheme
+
+_METRIC = GraphMetric(grid_2d(4))
+_SCHEME = ShortestPathScheme(_METRIC)
+
+
+@st.composite
+def demand_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=20))
+    demands = []
+    clock = 0.0
+    for _ in range(count):
+        clock += draw(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+        )
+        source = draw(st.integers(min_value=0, max_value=15))
+        target = draw(st.integers(min_value=0, max_value=15))
+        demands.append(Demand(source, target, clock))
+    return demands
+
+
+class TestConservation:
+    @given(demands=demand_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_every_packet_delivered_exactly_once(self, demands):
+        report = TrafficSimulator(_SCHEME).run(demands)
+        assert report.delivered == len(demands)
+
+    @given(demands=demand_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_no_packet_delivered_before_injection(self, demands):
+        report = TrafficSimulator(_SCHEME).run(demands)
+        for packet in report.packets:
+            assert packet.delivered_at >= packet.demand.inject_at - 1e-9
+
+    @given(demands=demand_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_latency_at_least_propagation(self, demands):
+        report = TrafficSimulator(_SCHEME, service_time=1.0).run(demands)
+        for packet in report.packets:
+            assert packet.latency >= packet.propagation - 1e-9
+
+    @given(demands=demand_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_queueing_monotone_in_service_time(self, demands):
+        fast = TrafficSimulator(_SCHEME, service_time=0.1).run(demands)
+        slow = TrafficSimulator(_SCHEME, service_time=2.0).run(demands)
+        assert slow.mean_queueing() >= fast.mean_queueing() - 1e-9
+
+    @given(demands=demand_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_replay(self, demands):
+        first = TrafficSimulator(_SCHEME).run(demands)
+        second = TrafficSimulator(_SCHEME).run(demands)
+        assert [p.delivered_at for p in first.packets] == [
+            p.delivered_at for p in second.packets
+        ]
+
+    @given(demands=demand_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_propagation_is_true_distance_for_oracle(self, demands):
+        report = TrafficSimulator(_SCHEME).run(demands)
+        for packet in report.packets:
+            want = _METRIC.distance(
+                packet.demand.source, packet.demand.target
+            )
+            assert packet.propagation == pytest.approx(want)

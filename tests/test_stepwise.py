@@ -1,0 +1,87 @@
+"""Tests for the stepwise (per-node state machine) execution engine."""
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.core.types import RouteFailure
+from repro.runtime.stepwise import StepwiseLabeledRouter
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+
+
+@pytest.fixture(scope="module")
+def stepwise(grid_metric):
+    scheme = NonScaleFreeLabeledScheme(grid_metric, SchemeParameters())
+    return scheme, StepwiseLabeledRouter.extract(scheme)
+
+
+class TestLocality:
+    def test_local_nodes_hold_no_global_references(self, stepwise):
+        _, router = stepwise
+        node = router.local_node(0)
+        for attr in vars(node).values():
+            # Only plain ids/labels/tuples — no metric, no hierarchy.
+            assert not hasattr(attr, "distances_from")
+            assert not hasattr(attr, "zooming_sequence")
+
+    def test_ring_entries_reference_graph_neighbours(
+        self, stepwise, grid_metric
+    ):
+        _, router = stepwise
+        for u in grid_metric.nodes:
+            node = router.local_node(u)
+            for entries in node.rings.values():
+                for _, _, next_hop in entries:
+                    assert next_hop == u or grid_metric.graph.has_edge(
+                        u, next_hop
+                    )
+
+
+class TestEquivalence:
+    def test_paths_match_monolithic_implementation(
+        self, stepwise, grid_metric
+    ):
+        scheme, router = stepwise
+        for u in range(0, grid_metric.n, 5):
+            for v in range(0, grid_metric.n, 3):
+                if u == v:
+                    continue
+                monolithic = scheme.route(u, v).path
+                local = router.route_to_node(u, v)
+                assert local == monolithic
+
+    def test_all_families(self, any_metric, params):
+        scheme = NonScaleFreeLabeledScheme(any_metric, params)
+        router = StepwiseLabeledRouter.extract(scheme)
+        for u in range(0, any_metric.n, 6):
+            for v in range(0, any_metric.n, 4):
+                if u == v:
+                    continue
+                assert router.route_to_node(u, v) == scheme.route(u, v).path
+
+    def test_self_route(self, stepwise):
+        _, router = stepwise
+        assert router.route_to_node(7, 7) == [7]
+
+
+class TestSerialization:
+    def test_header_is_codec_sized(self, stepwise):
+        _, router = stepwise
+        data, bits = router.codec.encode({"target_label": 5})
+        assert bits == router.codec.total_bits
+        assert len(data) == (bits + 7) // 8
+
+    def test_forward_rejects_uncovered_label(self, stepwise):
+        scheme, router = stepwise
+        node = router.local_node(0)
+        # Strip all but level-0 rings; a far label is then uncovered.
+        node_rings = dict(node.rings)
+        try:
+            node.rings = {0: node.rings[0]}
+            far_label = scheme.routing_label(scheme.metric.n - 1)
+            data, bits = router.codec.encode(
+                {"target_label": far_label}
+            )
+            with pytest.raises(RouteFailure):
+                node.forward(data, bits, router.codec)
+        finally:
+            node.rings = node_rings

@@ -1,0 +1,124 @@
+"""Tests for table serialization and per-category storage breakdowns."""
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.experiments import storage_audit
+from repro.graphs.generators import grid_2d
+from repro.metric.graph_metric import GraphMetric
+from repro.runtime.stepwise import StepwiseLabeledRouter
+from repro.runtime.tables import (
+    TableLayout,
+    deserialize_local_node,
+    framing_overhead_bits,
+    serialize_local_node,
+)
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+
+@pytest.fixture(scope="module")
+def extracted(grid_metric, params):
+    scheme = NonScaleFreeLabeledScheme(grid_metric, params)
+    router = StepwiseLabeledRouter.extract(scheme)
+    layout = TableLayout(
+        grid_metric.n, scheme.hierarchy.top_level + 1
+    )
+    return scheme, router, layout
+
+
+class TestSerialization:
+    def test_round_trip_every_node(self, extracted, grid_metric):
+        _, router, layout = extracted
+        for u in grid_metric.nodes:
+            node = router.local_node(u)
+            data, bits = serialize_local_node(node, layout)
+            restored = deserialize_local_node(data, bits, layout)
+            assert restored == node
+
+    def test_deserialized_nodes_route_identically(
+        self, extracted, grid_metric
+    ):
+        scheme, router, layout = extracted
+        # Rebuild the whole router from serialized blobs only.
+        from repro.runtime.stepwise import StepwiseLabeledRouter as SLR
+
+        blobs = {
+            u: serialize_local_node(router.local_node(u), layout)
+            for u in grid_metric.nodes
+        }
+        rebuilt_nodes = {
+            u: deserialize_local_node(data, bits, layout)
+            for u, (data, bits) in blobs.items()
+        }
+        rebuilt = SLR(
+            rebuilt_nodes,
+            scheme.header_codec(),
+            {u: scheme.routing_label(u) for u in grid_metric.nodes},
+        )
+        for u, v in [(0, 35), (17, 2), (30, 31)]:
+            assert rebuilt.route_to_node(u, v) == scheme.route(u, v).path
+
+    def test_serialized_size_tracks_accounting(self, extracted, grid_metric):
+        """Real bytes = accounted bits + measured framing overhead."""
+        scheme, router, layout = extracted
+        for u in (0, 17, 35):
+            node = router.local_node(u)
+            _, bits = serialize_local_node(node, layout)
+            overhead = framing_overhead_bits(node, layout)
+            accounted = scheme.table_bits(u) + layout.id_bits  # own label
+            assert bits <= accounted + overhead
+            assert bits >= accounted * 0.5  # same order of magnitude
+
+    def test_bad_layout_rejected(self):
+        with pytest.raises(ValueError):
+            TableLayout(0, 3)
+
+
+class TestBreakdowns:
+    @pytest.mark.parametrize(
+        "scheme_cls",
+        [
+            NonScaleFreeLabeledScheme,
+            ScaleFreeLabeledScheme,
+            SimpleNameIndependentScheme,
+            ScaleFreeNameIndependentScheme,
+        ],
+    )
+    def test_breakdown_sums_to_table_bits(
+        self, scheme_cls, grid_metric, params
+    ):
+        scheme = scheme_cls(grid_metric, params)
+        for v in range(0, grid_metric.n, 5):
+            ledger = scheme.table_breakdown(v)
+            assert ledger.total() == scheme.table_bits(v)
+
+    def test_nameind_breakdown_has_expected_categories(
+        self, nameind_sf, grid_metric
+    ):
+        categories = set(
+            nameind_sf.table_breakdown(0).breakdown()
+        )
+        assert "netting-tree parent label" in categories
+        assert "name search trees" in categories
+
+    def test_breakdown_nonnegative(self, nameind_sf, grid_metric):
+        for v in grid_metric.nodes:
+            for bits in nameind_sf.table_breakdown(v).breakdown().values():
+                assert bits >= 0
+
+
+class TestStorageAuditExperiment:
+    def test_shares_sum_to_one(self):
+        result = storage_audit.run(
+            suite=[("grid 5x5", grid_2d(5))]
+        )
+        row = result.rows[0]
+        shares = row[2:]
+        assert sum(shares) == pytest.approx(1.0, abs=0.01)
+
+    def test_avg_bits_positive(self):
+        result = storage_audit.run(suite=[("grid 5x5", grid_2d(5))])
+        assert result.rows[0][1] > 0
