@@ -1,0 +1,55 @@
+"""Benchmark the shared-substrate pipeline against isolated rebuilds.
+
+Reproduces the numbers recorded in ``BENCH_pipeline.json``:
+
+* ``report_seconds`` — wall clock of ``repro.experiments.report.generate``
+  (the full EXPERIMENTS.md regeneration, one shared :class:`BuildContext`);
+* ``medium_tables_isolated_seconds`` — Table 1 + Table 2 on the medium
+  suite with a *fresh* context per experiment (the seed's behaviour:
+  every experiment rebuilt APSP, hierarchies, packings, and schemes);
+* ``medium_tables_shared_seconds`` — the same two experiments sharing
+  one context, as ``python -m repro report`` now runs them.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.experiments import report, table1, table2
+from repro.experiments.harness import standard_suite
+from repro.pipeline.context import BuildContext
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return round(time.perf_counter() - start, 2)
+
+
+def main() -> None:
+    suite = standard_suite("medium")
+    results = {
+        "medium_tables_isolated_seconds": _timed(
+            lambda: (
+                table1.run(suite=suite, context=BuildContext()),
+                table2.run(suite=suite, context=BuildContext()),
+            )
+        ),
+    }
+    shared = BuildContext()
+    results["medium_tables_shared_seconds"] = _timed(
+        lambda: (
+            table1.run(suite=suite, context=shared),
+            table2.run(suite=suite, context=shared),
+        )
+    )
+    results["shared_context_stats"] = repr(shared)
+    results["report_seconds"] = _timed(lambda: report.generate(pair_count=300))
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ Run with: ``pytest benchmarks/bench_preprocessing.py --benchmark-only``
 import pytest
 
 from repro.core.params import SchemeParameters
-from repro.graphs.generators import grid_2d, random_geometric
+from repro.graphs.generators import grid_2d
 from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
 from repro.packing.ballpacking import BallPacking

@@ -34,6 +34,7 @@ from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
 from repro.oracle.distance_oracle import DistanceOracle
 from repro.packing.ballpacking import BallPacking
+from repro.pipeline import BuildContext, BuildStats, run_experiment
 from repro.schemes.base import (
     LabeledScheme,
     NameIndependentScheme,
@@ -51,6 +52,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BallPacking",
+    "BuildContext",
+    "BuildStats",
     "CowenLandmarkScheme",
     "DistanceOracle",
     "GraphMetric",
@@ -74,4 +77,5 @@ __all__ = [
     "SimpleNameIndependentScheme",
     "doubling_dimension",
     "growth_bound_constant",
+    "run_experiment",
 ]

@@ -1,113 +1,72 @@
-"""Command-line interface: run any experiment from the shell.
+"""Command-line interface: run any registered experiment from the shell.
 
 Usage::
 
     python -m repro list
-    python -m repro table1 [--epsilon 0.5] [--pairs 300]
-    python -m repro table2 | fig1 | fig2 | fig3 | scalefree |
-                    stretch-sweep | storage-scaling | structures | report
+    python -m repro table1 [--epsilon 0.5] [--pairs 300] [--jobs 4]
+                           [--json] [--cache-dir .repro-cache]
+    python -m repro report [--output EXPERIMENTS.md] [--jobs 4]
 
-Each command prints the corresponding measured table (see DESIGN.md §3
-for the experiment index); ``report`` regenerates EXPERIMENTS.md.
+Commands are generated from the experiment registry
+(:data:`repro.pipeline.registry.REGISTRY`); ``report`` regenerates
+EXPERIMENTS.md.  Common flags:
+
+* ``--jobs N``  — evaluate independent cells in ``N`` worker processes
+  (``0`` = all cores); results are identical to the serial run.
+* ``--json``    — emit the tables as JSON records instead of ASCII.
+* ``--cache-dir DIR`` — persist built artifacts (metrics, hierarchies,
+  packings, schemes) to an on-disk cache reused by later runs; clear it
+  by deleting the directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.experiments import ablation, congestion, fig1, fig2, fig3
-from repro.experiments import related_work, relaxed, report, scalefree
-from repro.experiments import storage_audit, structures, sweeps
-from repro.experiments import table1, table2
+from repro.experiments import report
+from repro.pipeline.context import BuildContext
+from repro.pipeline.registry import REGISTRY, run_experiment
 
 
-def _cmd_table1(args: argparse.Namespace) -> None:
-    table1.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+def _context_from(args: argparse.Namespace) -> BuildContext:
+    return BuildContext(cache_dir=getattr(args, "cache_dir", None))
 
 
-def _cmd_table2(args: argparse.Namespace) -> None:
-    table2.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+def _registry_command(name: str) -> Callable[[argparse.Namespace], None]:
+    def _cmd(args: argparse.Namespace) -> None:
+        tables = run_experiment(
+            name,
+            epsilon=args.epsilon,
+            pair_count=args.pairs,
+            context=_context_from(args),
+            jobs=args.jobs,
+        )
+        if args.json:
+            print(json.dumps([t.to_dict() for t in tables], indent=2))
+        else:
+            for table in tables:
+                table.print()
 
-
-def _cmd_fig1(args: argparse.Namespace) -> None:
-    fig1.run(epsilon=args.epsilon, pair_count=args.pairs).print()
-    fig1.run_scalefree(epsilon=args.epsilon, pair_count=args.pairs).print()
-
-
-def _cmd_fig2(args: argparse.Namespace) -> None:
-    fig2.run(epsilon=args.epsilon, pair_count=args.pairs).print()
-
-
-def _cmd_fig3(args: argparse.Namespace) -> None:
-    fig3.run_construction().print()
-    fig3.run_counting().print()
-    fig3.run_adversary().print()
-
-
-def _cmd_scalefree(args: argparse.Namespace) -> None:
-    scalefree.run(epsilon=args.epsilon).print()
-
-
-def _cmd_stretch_sweep(args: argparse.Namespace) -> None:
-    sweeps.run_stretch_sweep(pair_count=args.pairs).print()
-
-
-def _cmd_storage_scaling(args: argparse.Namespace) -> None:
-    sweeps.run_storage_scaling(epsilon=args.epsilon).print()
-
-
-def _cmd_structures(args: argparse.Namespace) -> None:
-    structures.run(epsilon=args.epsilon).print()
-
-
-def _cmd_related_work(args: argparse.Namespace) -> None:
-    related_work.run(epsilon=args.epsilon, pair_count=args.pairs).print()
-
-
-def _cmd_ablations(args: argparse.Namespace) -> None:
-    ablation.run_tree_router(
-        epsilon=args.epsilon, pair_count=args.pairs
-    ).print()
-    ablation.run_ring_restriction(epsilon=args.epsilon).print()
-    ablation.run_packing_service().print()
-
-
-def _cmd_storage_audit(args: argparse.Namespace) -> None:
-    storage_audit.run(epsilon=args.epsilon).print()
-
-
-def _cmd_congestion(args: argparse.Namespace) -> None:
-    congestion.run(epsilon=args.epsilon, packet_count=args.pairs).print()
-
-
-def _cmd_relaxed(args: argparse.Namespace) -> None:
-    relaxed.run(epsilon=args.epsilon, pair_count=args.pairs).print()
+    _cmd.__name__ = f"_cmd_{name.replace('-', '_')}"
+    return _cmd
 
 
 def _cmd_report(args: argparse.Namespace) -> None:
-    content = report.generate(pair_count=args.pairs)
+    content = report.generate(
+        pair_count=args.pairs,
+        context=_context_from(args),
+        jobs=args.jobs,
+    )
     with open(args.output, "w") as handle:
         handle.write(content)
     print(f"wrote {args.output}")
 
 
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
-    "table1": _cmd_table1,
-    "table2": _cmd_table2,
-    "fig1": _cmd_fig1,
-    "fig2": _cmd_fig2,
-    "fig3": _cmd_fig3,
-    "scalefree": _cmd_scalefree,
-    "stretch-sweep": _cmd_stretch_sweep,
-    "storage-scaling": _cmd_storage_scaling,
-    "structures": _cmd_structures,
-    "related-work": _cmd_related_work,
-    "ablations": _cmd_ablations,
-    "congestion": _cmd_congestion,
-    "relaxed": _cmd_relaxed,
-    "storage-audit": _cmd_storage_audit,
+    **{name: _registry_command(name) for name in REGISTRY},
     "report": _cmd_report,
 }
 
@@ -124,9 +83,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     for name in COMMANDS:
-        cmd = sub.add_parser(name, help=f"run experiment {name}")
+        spec = REGISTRY.get(name)
+        help_text = spec.help if spec else "regenerate EXPERIMENTS.md"
+        cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--epsilon", type=float, default=0.5)
         cmd.add_argument("--pairs", type=int, default=300)
+        cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent cells (0 = all cores)",
+        )
+        cmd.add_argument(
+            "--json",
+            action="store_true",
+            help="emit tables as JSON instead of ASCII",
+        )
+        cmd.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persist built artifacts on disk (e.g. .repro-cache)",
+        )
         if name == "report":
             cmd.add_argument("--output", default="EXPERIMENTS.md")
     return parser
@@ -137,8 +115,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         print("available experiments:")
+        width = max(len(name) for name in COMMANDS)
         for name in COMMANDS:
-            print(f"  {name}")
+            spec = REGISTRY.get(name)
+            help_text = spec.help if spec else "regenerate EXPERIMENTS.md"
+            print(f"  {name.ljust(width)}  {help_text}")
         return 0
     COMMANDS[args.command](args)
     return 0

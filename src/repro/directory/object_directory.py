@@ -63,9 +63,11 @@ class ObjectDirectory:
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters = SchemeParameters(),
+        params: Optional[SchemeParameters] = None,
         labeled: Optional[NonScaleFreeLabeledScheme] = None,
     ) -> None:
+        if params is None:
+            params = SchemeParameters()
         self._metric = metric
         self._params = params
         if labeled is None:

@@ -23,9 +23,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.params import SchemeParameters
-from repro.experiments.harness import ExperimentTable, sample_pairs
+from repro.experiments.harness import ExperimentTable
 from repro.graphs.generators import caterpillar, exponential_path, grid_2d
-from repro.metric.graph_metric import GraphMetric
+from repro.pipeline.context import BuildContext
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
 from repro.trees.heavy_path import HeavyPathRouter
@@ -33,23 +33,27 @@ from repro.trees.tree_router import TreeRouter
 
 
 def run_tree_router(
-    epsilon: float = 0.5, pair_count: int = 200
+    epsilon: float = 0.5,
+    pair_count: int = 200,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     """A1: interval vs heavy-path tree routing inside Theorem 1.2."""
+    if context is None:
+        context = BuildContext()
     params = SchemeParameters(epsilon=epsilon)
     rows: List[List[object]] = []
     for graph_name, graph in (
         ("grid 7x7", grid_2d(7)),
         ("caterpillar 8x5", caterpillar(8, 5)),
     ):
-        metric = GraphMetric(graph)
-        pairs = sample_pairs(metric, pair_count)
+        metric = context.metric(graph)
+        pairs = context.pairs(metric, pair_count)
         for router_cls, label in (
             (TreeRouter, "DFS intervals"),
             (HeavyPathRouter, "heavy paths (FG-style)"),
         ):
-            scheme = ScaleFreeLabeledScheme(
-                metric, params, tree_router_cls=router_cls
+            scheme = context.scheme(
+                ScaleFreeLabeledScheme, metric, params, tree_router_cls=router_cls
             )
             ev = scheme.evaluate(pairs)
             rows.append(
@@ -80,16 +84,20 @@ def run_tree_router(
 
 
 def run_ring_restriction(
-    epsilon: float = 0.5, sizes: Optional[List[float]] = None
+    epsilon: float = 0.5,
+    sizes: Optional[List[float]] = None,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     """A2: ring entries stored with R(u) vs at every level."""
     if sizes is None:
         sizes = [1.5, 4.0, 16.0]
+    if context is None:
+        context = BuildContext()
     params = SchemeParameters(epsilon=epsilon)
     rows: List[List[object]] = []
     for base in sizes:
-        metric = GraphMetric(exponential_path(18, base=base))
-        scheme = ScaleFreeLabeledScheme(metric, params)
+        metric = context.metric(exponential_path(18, base=base))
+        scheme = context.scheme(ScaleFreeLabeledScheme, metric, params)
         hierarchy = scheme.hierarchy
         restricted = sum(
             len(scheme.ring_entries(u, i))
@@ -129,15 +137,20 @@ def run_ring_restriction(
 
 def run_packing_service(
     epsilons: Optional[List[float]] = None,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     """A3: fraction of levels served by packed balls vs own trees."""
     if epsilons is None:
         epsilons = [0.125, 0.25, 0.5]
+    if context is None:
+        context = BuildContext()
     rows: List[List[object]] = []
-    metric = GraphMetric(grid_2d(7))
+    metric = context.metric(grid_2d(7))
     for eps in epsilons:
-        scheme = ScaleFreeNameIndependentScheme(
-            metric, SchemeParameters(epsilon=eps)
+        scheme = context.scheme(
+            ScaleFreeNameIndependentScheme,
+            metric,
+            SchemeParameters(epsilon=eps),
         )
         linked = len(scheme._h_links)
         owned = scheme.own_tree_count()

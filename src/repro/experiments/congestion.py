@@ -18,7 +18,7 @@ import networkx as nx
 from repro.core.params import SchemeParameters
 from repro.experiments.harness import ExperimentTable
 from repro.graphs.generators import grid_2d, random_geometric
-from repro.metric.graph_metric import GraphMetric
+from repro.pipeline.context import BuildContext
 from repro.runtime.simulator import TrafficSimulator, uniform_demands
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
 from repro.schemes.nameind_simple import SimpleNameIndependentScheme
@@ -31,6 +31,7 @@ def run(
     rate: float = 3.0,
     service_time: float = 0.25,
     suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     params = SchemeParameters(epsilon=epsilon)
     if suite is None:
@@ -38,9 +39,11 @@ def run(
             ("grid 8x8", grid_2d(8)),
             ("geometric n=64", random_geometric(64, seed=11)),
         ]
+    if context is None:
+        context = BuildContext()
     rows: List[List[object]] = []
     for graph_name, graph in suite:
-        metric = GraphMetric(graph)
+        metric = context.metric(graph)
         demands = uniform_demands(metric.n, packet_count, rate=rate, seed=7)
         baseline_peak = None
         for scheme_cls, label in (
@@ -48,7 +51,7 @@ def run(
             (SimpleNameIndependentScheme, "Theorem 1.4"),
             (ScaleFreeNameIndependentScheme, "Theorem 1.1"),
         ):
-            scheme = scheme_cls(metric, params)
+            scheme = context.scheme(scheme_cls, metric, params)
             report = TrafficSimulator(scheme, service_time).run(demands)
             peak = report.busiest_links(top=1)[0][1]
             if baseline_peak is None:

@@ -23,8 +23,8 @@ from typing import List, Optional, Tuple, Type
 import networkx as nx
 
 from repro.core.params import SchemeParameters
-from repro.experiments.harness import ExperimentTable, sample_pairs, standard_suite
-from repro.metric.graph_metric import GraphMetric
+from repro.experiments.harness import ExperimentTable, standard_suite
+from repro.pipeline.context import BuildContext
 from repro.schemes.base import NameIndependentScheme
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
 from repro.schemes.nameind_simple import SimpleNameIndependentScheme
@@ -35,16 +35,19 @@ def run(
     pair_count: int = 200,
     suite: Optional[List[Tuple[str, nx.Graph]]] = None,
     scheme_cls: Type[NameIndependentScheme] = SimpleNameIndependentScheme,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     """Measure the Figure 1 cost decomposition."""
     params = SchemeParameters(epsilon=epsilon)
     if suite is None:
         suite = standard_suite("small")
+    if context is None:
+        context = BuildContext()
     rows: List[List[object]] = []
     for graph_name, graph in suite:
-        metric = GraphMetric(graph)
-        scheme = scheme_cls(metric, params)
-        pairs = sample_pairs(metric, pair_count)
+        metric = context.metric(graph)
+        scheme = context.scheme(scheme_cls, metric, params)
+        pairs = context.pairs(metric, pair_count)
         zoom_share: List[float] = []
         search_share: List[float] = []
         final_share: List[float] = []
@@ -90,12 +93,17 @@ def run(
     )
 
 
-def run_scalefree(epsilon: float = 0.5, pair_count: int = 200) -> ExperimentTable:
+def run_scalefree(
+    epsilon: float = 0.5,
+    pair_count: int = 200,
+    context: Optional[BuildContext] = None,
+) -> ExperimentTable:
     """Same anatomy for the Theorem 1.1 scheme (Algorithm 4 searches)."""
     return run(
         epsilon=epsilon,
         pair_count=pair_count,
         scheme_cls=ScaleFreeNameIndependentScheme,
+        context=context,
     )
 
 

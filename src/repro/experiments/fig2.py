@@ -17,8 +17,8 @@ from typing import List, Optional, Tuple
 import networkx as nx
 
 from repro.core.params import SchemeParameters
-from repro.experiments.harness import ExperimentTable, sample_pairs, standard_suite
-from repro.metric.graph_metric import GraphMetric
+from repro.experiments.harness import ExperimentTable, standard_suite
+from repro.pipeline.context import BuildContext
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 
 
@@ -26,16 +26,19 @@ def run(
     epsilon: float = 0.5,
     pair_count: int = 200,
     suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     """Measure the Figure 2 cost decomposition for Theorem 1.2."""
     params = SchemeParameters(epsilon=epsilon)
     if suite is None:
         suite = standard_suite("small")
+    if context is None:
+        context = BuildContext()
     rows: List[List[object]] = []
     for graph_name, graph in suite:
-        metric = GraphMetric(graph)
-        scheme = ScaleFreeLabeledScheme(metric, params)
-        pairs = sample_pairs(metric, pair_count)
+        metric = context.metric(graph)
+        scheme = context.scheme(ScaleFreeLabeledScheme, metric, params)
+        pairs = context.pairs(metric, pair_count)
         shares = {"walk": [], "to_center": [], "search": [], "final": []}
         stretches: List[float] = []
         voronoi_used = 0

@@ -9,8 +9,8 @@ type used by every experiment's ``main()``.
 from __future__ import annotations
 
 import dataclasses
-import random
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+import json
+from typing import Dict, List, Optional, Tuple, Type
 
 import networkx as nx
 
@@ -23,6 +23,8 @@ from repro.graphs.generators import (
     random_geometric,
 )
 from repro.metric.graph_metric import GraphMetric
+from repro.pipeline.context import BuildContext
+from repro.pipeline.sampling import PairExclusion, sample_ordered_pairs
 from repro.schemes.base import RoutingScheme
 
 
@@ -51,36 +53,37 @@ def standard_suite(scale: str = "small") -> List[Tuple[str, nx.Graph]]:
 
 
 def sample_pairs(
-    metric: GraphMetric, count: int, seed: int = 0
+    metric: GraphMetric,
+    count: int,
+    seed: int = 0,
+    exclude: Optional[PairExclusion] = None,
 ) -> List[Tuple[NodeId, NodeId]]:
     """Deterministic sample of ordered source-destination pairs.
 
-    Samples without replacement when possible; falls back to all pairs
-    for tiny graphs.
+    Samples without replacement when possible; falls back to all
+    (allowed) pairs for tiny graphs.  ``exclude`` rejects individual
+    ordered pairs, e.g. ``lambda u, v: metric.graph.has_edge(u, v)`` to
+    measure multi-hop routes only.  Delegates to the shared sampler in
+    :mod:`repro.pipeline.sampling`, so the same seed yields the same
+    pairs here and in the traffic simulator.
     """
-    n = metric.n
-    all_count = n * (n - 1)
-    if count >= all_count:
-        return [(u, v) for u in metric.nodes for v in metric.nodes if u != v]
-    rng = random.Random(seed)
-    seen = set()
-    pairs: List[Tuple[NodeId, NodeId]] = []
-    while len(pairs) < count:
-        u = rng.randrange(n)
-        v = rng.randrange(n)
-        if u != v and (u, v) not in seen:
-            seen.add((u, v))
-            pairs.append((u, v))
-    return pairs
+    return sample_ordered_pairs(metric.n, count, seed=seed, exclude=exclude)
 
 
 def build_scheme(
     scheme_cls: Type[RoutingScheme],
     metric: GraphMetric,
     params: Optional[SchemeParameters] = None,
+    context: Optional[BuildContext] = None,
     **kwargs,
 ) -> RoutingScheme:
-    """Construct a scheme with default parameters."""
+    """Construct a scheme with default parameters.
+
+    With ``context`` set, substrates (and the scheme itself) are pulled
+    from — and recorded in — the shared build cache.
+    """
+    if context is not None:
+        return context.scheme(scheme_cls, metric, params, **kwargs)
     if params is None:
         params = SchemeParameters()
     return scheme_cls(metric, params, **kwargs)
@@ -121,6 +124,18 @@ class ExperimentTable:
 
     def row_dicts(self) -> List[Dict[str, object]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: title, columns, row records, and notes."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": self.row_dicts(),
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
     def print(self) -> None:
         print(self.formatted())

@@ -18,8 +18,8 @@ from typing import List, Optional, Tuple
 import networkx as nx
 
 from repro.core.params import SchemeParameters
-from repro.experiments.harness import ExperimentTable, sample_pairs, standard_suite
-from repro.metric.graph_metric import GraphMetric
+from repro.experiments.harness import ExperimentTable, standard_suite
+from repro.pipeline.context import BuildContext
 from repro.schemes.cowen_landmark import CowenLandmarkScheme
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 
@@ -28,17 +28,20 @@ def run(
     epsilon: float = 0.5,
     pair_count: int = 300,
     suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     params = SchemeParameters(epsilon=epsilon)
     if suite is None:
         suite = standard_suite("small")
+    if context is None:
+        context = BuildContext()
     rows: List[List[object]] = []
     for graph_name, graph in suite:
-        metric = GraphMetric(graph)
-        pairs = sample_pairs(metric, pair_count)
+        metric = context.metric(graph)
+        pairs = context.pairs(metric, pair_count)
         for scheme, label in (
-            (CowenLandmarkScheme(metric, params), "Cowen stretch-3"),
-            (ScaleFreeLabeledScheme(metric, params), "Theorem 1.2"),
+            (context.scheme(CowenLandmarkScheme, metric, params), "Cowen stretch-3"),
+            (context.scheme(ScaleFreeLabeledScheme, metric, params), "Theorem 1.2"),
         ):
             ev = scheme.evaluate(pairs)
             rows.append(

@@ -27,8 +27,8 @@ from typing import List, Optional, Tuple
 import networkx as nx
 
 from repro.core.params import SchemeParameters
-from repro.experiments.harness import ExperimentTable, sample_pairs, standard_suite
-from repro.metric.graph_metric import GraphMetric
+from repro.experiments.harness import ExperimentTable, standard_suite
+from repro.pipeline.context import BuildContext
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
 from repro.schemes.nameind_simple import SimpleNameIndependentScheme
 
@@ -43,19 +43,22 @@ def run(
     epsilon: float = 0.5,
     pair_count: int = 400,
     suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     params = SchemeParameters(epsilon=epsilon)
     if suite is None:
         suite = standard_suite("small")
+    if context is None:
+        context = BuildContext()
     rows: List[List[object]] = []
     for graph_name, graph in suite:
-        metric = GraphMetric(graph)
-        pairs = sample_pairs(metric, pair_count)
+        metric = context.metric(graph)
+        pairs = context.pairs(metric, pair_count)
         for scheme_cls, label in (
             (SimpleNameIndependentScheme, "Theorem 1.4"),
             (ScaleFreeNameIndependentScheme, "Theorem 1.1"),
         ):
-            scheme = scheme_cls(metric, params)
+            scheme = context.scheme(scheme_cls, metric, params)
             stretches = [scheme.route(u, v).stretch for u, v in pairs]
             tables = [scheme.table_bits(v) for v in metric.nodes]
             over5 = sum(1 for s in stretches if s > 5.0) / len(stretches)

@@ -14,19 +14,35 @@ from __future__ import annotations
 import sys
 from typing import List
 
+from typing import Optional
+
 from repro.experiments import ablation, congestion, fig1, fig2, fig3
 from repro.experiments import related_work, relaxed, scalefree
 from repro.experiments import storage_audit, structures, sweeps
 from repro.experiments import table1, table2
 from repro.experiments.harness import ExperimentTable
+from repro.pipeline.context import BuildContext
 
 
 def _block(table: ExperimentTable) -> str:
     return "```\n" + table.formatted() + "\n```\n"
 
 
-def generate(pair_count: int = 300) -> str:
-    """Build the full EXPERIMENTS.md content (runs every experiment)."""
+def generate(
+    pair_count: int = 300,
+    context: Optional[BuildContext] = None,
+    jobs: int = 1,
+) -> str:
+    """Build the full EXPERIMENTS.md content (runs every experiment).
+
+    One shared :class:`BuildContext` feeds every experiment, so the
+    suite's metrics, hierarchies, packings, pair samples, and schemes
+    are each built once for the whole report.  ``jobs`` parallelizes
+    the medium-scale table cells (the dominant single block); the
+    small-scale experiments stay serial to maximize sharing.
+    """
+    if context is None:
+        context = BuildContext()
     sections: List[str] = []
     sections.append(
         "# EXPERIMENTS — paper vs measured\n\n"
@@ -36,7 +52,7 @@ def generate(pair_count: int = 300) -> str:
         "bits/stretch under the charging model described in README.md.\n"
     )
 
-    t1 = table1.run(epsilon=0.5, pair_count=pair_count)
+    t1 = table1.run(epsilon=0.5, pair_count=pair_count, context=context)
     sections.append(
         "## E1 — Table 1 (name-independent schemes)\n\n"
         "**Paper:** Theorem 1.4 routes with stretch `9+ε` using\n"
@@ -51,7 +67,7 @@ def generate(pair_count: int = 300) -> str:
         "a larger header than Theorem 1.4 for scale-freeness.\n"
     )
 
-    t2 = table2.run(epsilon=0.5, pair_count=pair_count)
+    t2 = table2.run(epsilon=0.5, pair_count=pair_count, context=context)
     sections.append(
         "## E2 — Table 2 (labeled schemes)\n\n"
         "**Paper:** `(1+ε)`-stretch labeled routing; both our Lemma 3.1\n"
@@ -65,8 +81,10 @@ def generate(pair_count: int = 300) -> str:
         "in `n`; E6 shows the reversal when `Δ` grows.\n"
     )
 
-    f1 = fig1.run(epsilon=0.5, pair_count=pair_count // 2)
-    f1sf = fig1.run_scalefree(epsilon=0.5, pair_count=pair_count // 2)
+    f1 = fig1.run(epsilon=0.5, pair_count=pair_count // 2, context=context)
+    f1sf = fig1.run_scalefree(
+        epsilon=0.5, pair_count=pair_count // 2, context=context
+    )
     sections.append(
         "## E3 — Figure 1 (name-independent route anatomy)\n\n"
         "**Paper:** Algorithm 3 alternates zooming-sequence legs with\n"
@@ -80,7 +98,7 @@ def generate(pair_count: int = 300) -> str:
         "predicts.\n"
     )
 
-    f2 = fig2.run(epsilon=0.5, pair_count=pair_count // 2)
+    f2 = fig2.run(epsilon=0.5, pair_count=pair_count // 2, context=context)
     sections.append(
         "## E4 — Figure 2 (labeled route anatomy)\n\n"
         "**Paper:** Algorithm 5's ring walk does almost all the work;\n"
@@ -113,7 +131,7 @@ def generate(pair_count: int = 300) -> str:
         "down.\n"
     )
 
-    e6 = scalefree.run(n=20, bases=[1.5, 2.0, 4.0, 8.0])
+    e6 = scalefree.run(n=20, bases=[1.5, 2.0, 4.0, 8.0], context=context)
     sections.append(
         "## E6 — scale-free ablation (Theorem 1.1/1.2 vs 1.4/Lemma 3.1)\n\n"
         "**Paper:** the non-scale-free schemes store one level per\n"
@@ -125,7 +143,7 @@ def generate(pair_count: int = 300) -> str:
         "flat — the headline SODA-2007 result.\n"
     )
 
-    e7 = sweeps.run_stretch_sweep(pair_count=pair_count)
+    e7 = sweeps.run_stretch_sweep(pair_count=pair_count, context=context)
     sections.append(
         "## E7 — stretch vs ε (Theorems 1.1, 1.2, 1.4)\n\n"
         "**Measured (8x8 grid):**\n\n" + _block(e7) +
@@ -135,7 +153,7 @@ def generate(pair_count: int = 300) -> str:
         "ε < 1/2.\n"
     )
 
-    e8 = sweeps.run_storage_scaling()
+    e8 = sweeps.run_storage_scaling(context=context)
     sections.append(
         "## E8 — storage vs n (Theorems 1.1, 1.2)\n\n"
         "**Measured (geometric graphs):**\n\n" + _block(e8) +
@@ -144,7 +162,7 @@ def generate(pair_count: int = 300) -> str:
         "linear tables; labels are exactly `⌈log n⌉` bits.\n"
     )
 
-    e9 = structures.run()
+    e9 = structures.run(context=context)
     sections.append(
         "## E9 — substrate lemma audit (Lemmas 2.2/2.3, Eqn. 3, "
         "Claim 3.9)\n\n**Measured:**\n\n" + _block(e9) +
@@ -165,7 +183,7 @@ def generate(pair_count: int = 300) -> str:
         "in `repro.lowerbound.counting`.\n"
     )
 
-    rw = related_work.run(epsilon=0.5, pair_count=pair_count)
+    rw = related_work.run(epsilon=0.5, pair_count=pair_count, context=context)
     sections.append(
         "## E13 — related work (§1.2): general-graph landmark routing\n\n"
         "**Paper context:** on general graphs stretch < 3 needs\n"
@@ -177,9 +195,9 @@ def generate(pair_count: int = 300) -> str:
         "better; Theorem 1.2 guarantees `1+O(ε)` on these families.\n"
     )
 
-    a1 = ablation.run_tree_router(pair_count=pair_count // 2)
-    a2 = ablation.run_ring_restriction()
-    a3 = ablation.run_packing_service()
+    a1 = ablation.run_tree_router(pair_count=pair_count // 2, context=context)
+    a2 = ablation.run_ring_restriction(context=context)
+    a3 = ablation.run_packing_service(context=context)
     sections.append(
         "## E14 — ablations of the design choices (DESIGN.md)\n\n"
         "**A1, Lemma 4.1 substrate** — DFS-interval vs heavy-path tree\n"
@@ -196,7 +214,7 @@ def generate(pair_count: int = 300) -> str:
         "within Claim 3.9's link budget.\n"
     )
 
-    e11 = congestion.run(packet_count=pair_count // 2)
+    e11 = congestion.run(packet_count=pair_count // 2, context=context)
     sections.append(
         "## E11 — routing under load (beyond the paper)\n\n"
         "Store-and-forward simulation of a Poisson workload:\n\n"
@@ -206,7 +224,7 @@ def generate(pair_count: int = 300) -> str:
         "hot spots — the operational cost of the `9+ε` guarantee.\n"
     )
 
-    e12 = relaxed.run(pair_count=pair_count)
+    e12 = relaxed.run(pair_count=pair_count, context=context)
     sections.append(
         "## E12 — the conclusion's open problem, measured\n\n"
         "Stretch and storage *distributions* behind the worst cases:\n\n"
@@ -222,11 +240,15 @@ def generate(pair_count: int = 300) -> str:
         epsilon=0.5,
         pair_count=pair_count,
         suite=standard_suite("medium"),
+        context=context,
+        jobs=jobs,
     )
     t2m = table2.run(
         epsilon=0.5,
         pair_count=pair_count,
         suite=standard_suite("medium"),
+        context=context,
+        jobs=jobs,
     )
     sections.append(
         "## E1b/E2b — Tables 1-2 at medium scale (n ≈ 256)\n\n"
@@ -238,7 +260,7 @@ def generate(pair_count: int = 300) -> str:
         "less than 4x the bits) while baseline tables grew linearly.\n"
     )
 
-    e15 = storage_audit.run()
+    e15 = storage_audit.run(context=context)
     sections.append(
         "## E15 — storage audit (Lemma 3.8's accounting, itemized)\n\n"
         + _block(e15) +

@@ -18,7 +18,7 @@ from typing import List, Optional
 from repro.core.params import SchemeParameters
 from repro.experiments.harness import ExperimentTable
 from repro.graphs.generators import exponential_path
-from repro.metric.graph_metric import GraphMetric
+from repro.pipeline.context import BuildContext
 from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
@@ -29,14 +29,17 @@ def run(
     n: int = 24,
     bases: Optional[List[float]] = None,
     epsilon: float = 0.5,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     """Grow ``Δ`` at fixed ``n``; record max table bits per scheme."""
     if bases is None:
         bases = [1.5, 2.0, 3.0, 5.0, 8.0]
+    if context is None:
+        context = BuildContext()
     params = SchemeParameters(epsilon=epsilon)
     rows: List[List[object]] = []
     for base in bases:
-        metric = GraphMetric(exponential_path(n, base=base))
+        metric = context.metric(exponential_path(n, base=base))
         row: List[object] = [base, metric.log_diameter]
         for scheme_cls in (
             NonScaleFreeLabeledScheme,
@@ -44,7 +47,7 @@ def run(
             SimpleNameIndependentScheme,
             ScaleFreeNameIndependentScheme,
         ):
-            scheme = scheme_cls(metric, params)
+            scheme = context.scheme(scheme_cls, metric, params)
             row.append(scheme.max_table_bits())
         rows.append(row)
     return ExperimentTable(

@@ -18,23 +18,26 @@ import networkx as nx
 
 from repro.core.params import SchemeParameters
 from repro.experiments.harness import ExperimentTable, standard_suite
-from repro.metric.graph_metric import GraphMetric
+from repro.pipeline.context import BuildContext
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
 
 
 def run(
     epsilon: float = 0.5,
     suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     params = SchemeParameters(epsilon=epsilon)
     if suite is None:
         suite = standard_suite("small")
+    if context is None:
+        context = BuildContext()
     rows: List[List[object]] = []
     columns_seen: List[str] = []
     per_graph: List[Tuple[str, Dict[str, float], int]] = []
     for graph_name, graph in suite:
-        metric = GraphMetric(graph)
-        scheme = ScaleFreeNameIndependentScheme(metric, params)
+        metric = context.metric(graph)
+        scheme = context.scheme(ScaleFreeNameIndependentScheme, metric, params)
         totals: Dict[str, int] = {}
         for v in metric.nodes:
             for category, bits in scheme.table_breakdown(v).breakdown().items():

@@ -22,9 +22,7 @@ import networkx as nx
 
 from repro.core.params import SchemeParameters
 from repro.experiments.harness import ExperimentTable, standard_suite
-from repro.metric.graph_metric import GraphMetric
-from repro.nets.hierarchy import NetHierarchy
-from repro.packing.ballpacking import BallPacking
+from repro.pipeline.context import BuildContext
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
 from repro.searchtree.tree import SearchTree
 
@@ -32,15 +30,18 @@ from repro.searchtree.tree import SearchTree
 def run(
     epsilon: float = 0.5,
     suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     if suite is None:
         suite = standard_suite("small")
+    if context is None:
+        context = BuildContext()
     params = SchemeParameters(epsilon=epsilon)
     rows: List[List[object]] = []
     for graph_name, graph in suite:
-        metric = GraphMetric(graph)
-        hierarchy = NetHierarchy(metric)
-        packing = BallPacking(metric)
+        metric = context.metric(graph)
+        hierarchy = context.hierarchy(metric)
+        packing = context.packing(metric)
 
         # Lemma 2.2 witness: net points within radius 2 * 2^i.
         lemma22 = 0
@@ -69,7 +70,7 @@ def run(
         height_ratio = tree.height() / radius if radius > 0 else 0.0
 
         # Theorem 1.1 counting claims.
-        scheme = ScaleFreeNameIndependentScheme(metric, params)
+        scheme = context.scheme(ScaleFreeNameIndependentScheme, metric, params)
         max_h_links = max(
             scheme.h_link_count(u) for u in metric.nodes
         )

@@ -16,9 +16,9 @@ import math
 from typing import List, Optional
 
 from repro.core.params import SchemeParameters
-from repro.experiments.harness import ExperimentTable, sample_pairs
+from repro.experiments.harness import ExperimentTable
 from repro.graphs.generators import grid_2d, random_geometric
-from repro.metric.graph_metric import GraphMetric
+from repro.pipeline.context import BuildContext
 from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
@@ -36,18 +36,21 @@ def run_stretch_sweep(
     epsilons: Optional[List[float]] = None,
     grid_side: int = 8,
     pair_count: int = 300,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     """E7: measured max stretch vs ``ε`` on a grid."""
     if epsilons is None:
         epsilons = [0.125, 0.25, 0.375, 0.5]
-    metric = GraphMetric(grid_2d(grid_side))
-    pairs = sample_pairs(metric, pair_count)
+    if context is None:
+        context = BuildContext()
+    metric = context.metric(grid_2d(grid_side))
+    pairs = context.pairs(metric, pair_count)
     rows: List[List[object]] = []
     for eps in epsilons:
         params = SchemeParameters(epsilon=eps)
         row: List[object] = [eps]
         for _, scheme_cls in ALL_SCHEMES:
-            scheme = scheme_cls(metric, params)
+            scheme = context.scheme(scheme_cls, metric, params)
             ev = scheme.evaluate(pairs)
             row.append(round(ev.max_stretch, 3))
         row.append(round(1 + 8 * eps, 3))
@@ -70,19 +73,22 @@ def run_storage_scaling(
     sizes: Optional[List[int]] = None,
     epsilon: float = 0.5,
     seed: int = 5,
+    context: Optional[BuildContext] = None,
 ) -> ExperimentTable:
     """E8: max table bits vs ``n`` on geometric graphs, vs ``log³ n``."""
     if sizes is None:
         sizes = [32, 64, 128, 256]
+    if context is None:
+        context = BuildContext()
     params = SchemeParameters(epsilon=epsilon)
     rows: List[List[object]] = []
     for n in sizes:
-        metric = GraphMetric(random_geometric(n, seed=seed))
+        metric = context.metric(random_geometric(n, seed=seed))
         row: List[object] = [n, round(math.log2(n) ** 3, 1)]
         for _, scheme_cls in ALL_SCHEMES:
-            scheme = scheme_cls(metric, params)
+            scheme = context.scheme(scheme_cls, metric, params)
             row.append(scheme.max_table_bits())
-        labeled = ScaleFreeLabeledScheme(metric, params)
+        labeled = context.scheme(ScaleFreeLabeledScheme, metric, params)
         row.append(labeled.label_bits())
         rows.append(row)
     return ExperimentTable(

@@ -19,50 +19,88 @@ import networkx as nx
 
 from repro.core.bitcount import bits_for_id
 from repro.core.params import SchemeParameters
-from repro.experiments.harness import ExperimentTable, sample_pairs, standard_suite
-from repro.metric.graph_metric import GraphMetric
+from repro.experiments.harness import ExperimentTable, standard_suite
+from repro.pipeline.context import BuildContext
+from repro.pipeline.parallel import parallel_map
 from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 from repro.schemes.shortest_path import ShortestPathScheme
+
+SCHEMES: Tuple[Tuple[type, str], ...] = (
+    (ShortestPathScheme, "baseline (stretch 1)"),
+    (NonScaleFreeLabeledScheme, "Lemma 3.1 (log-Delta tables)"),
+    (ScaleFreeLabeledScheme, "Theorem 1.2 (scale-free)"),
+)
+
+
+def _rows_for_graph(
+    context: BuildContext,
+    graph_name: str,
+    graph: nx.Graph,
+    epsilon: float,
+    pair_count: int,
+) -> List[List[object]]:
+    metric = context.metric(graph)
+    pairs = context.pairs(metric, pair_count)
+    params = SchemeParameters(epsilon=epsilon)
+    rows: List[List[object]] = []
+    for scheme_cls, label in SCHEMES:
+        scheme = context.scheme(scheme_cls, metric, params)
+        ev = scheme.evaluate(pairs)
+        label_bits = (
+            scheme.label_bits()
+            if hasattr(scheme, "label_bits")
+            else bits_for_id(metric.n)
+        )
+        rows.append(
+            [
+                graph_name,
+                label,
+                round(ev.max_stretch, 3),
+                round(ev.mean_stretch, 3),
+                ev.max_table_bits,
+                round(ev.avg_table_bits),
+                ev.header_bits,
+                label_bits,
+            ]
+        )
+    return rows
+
+
+def _graph_cell(payload) -> List[List[object]]:
+    """Process-pool worker: one graph, all schemes (module-level to pickle)."""
+    graph_name, graph, epsilon, pair_count = payload
+    return _rows_for_graph(BuildContext(), graph_name, graph, epsilon, pair_count)
 
 
 def run(
     epsilon: float = 0.5,
     pair_count: int = 400,
     suite: Optional[List[Tuple[str, nx.Graph]]] = None,
+    context: Optional[BuildContext] = None,
+    jobs: int = 1,
 ) -> ExperimentTable:
-    """Measure every Table 2 row on the standard suite."""
-    params = SchemeParameters(epsilon=epsilon)
+    """Measure every Table 2 row on the standard suite.
+
+    ``jobs`` fans the independent per-graph cells out to a process
+    pool, preserving serial row order (see :mod:`repro.pipeline`).
+    """
     if suite is None:
         suite = standard_suite("small")
-    rows: List[List[object]] = []
-    for graph_name, graph in suite:
-        metric = GraphMetric(graph)
-        pairs = sample_pairs(metric, pair_count)
-        for scheme_cls, label in (
-            (ShortestPathScheme, "baseline (stretch 1)"),
-            (NonScaleFreeLabeledScheme, "Lemma 3.1 (log-Delta tables)"),
-            (ScaleFreeLabeledScheme, "Theorem 1.2 (scale-free)"),
-        ):
-            scheme = scheme_cls(metric, params)
-            ev = scheme.evaluate(pairs)
-            label_bits = (
-                scheme.label_bits()
-                if hasattr(scheme, "label_bits")
-                else bits_for_id(metric.n)
-            )
-            rows.append(
-                [
-                    graph_name,
-                    label,
-                    round(ev.max_stretch, 3),
-                    round(ev.mean_stretch, 3),
-                    ev.max_table_bits,
-                    round(ev.avg_table_bits),
-                    ev.header_bits,
-                    label_bits,
-                ]
-            )
+    if jobs != 1 and len(suite) >= 2:
+        payloads = [
+            (graph_name, graph, epsilon, pair_count)
+            for graph_name, graph in suite
+        ]
+        groups = parallel_map(_graph_cell, payloads, jobs=jobs)
+    else:
+        if context is None:
+            context = BuildContext()
+        groups = [
+            _rows_for_graph(context, graph_name, graph, epsilon, pair_count)
+            for graph_name, graph in suite
+        ]
+    rows = [row for group in groups for row in group]
     return ExperimentTable(
         title=f"Table 2 (measured): labeled schemes, eps={epsilon}",
         columns=[

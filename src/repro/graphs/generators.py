@@ -26,7 +26,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
-from typing import Iterable, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence, Tuple
 
 import networkx as nx
 

@@ -41,9 +41,11 @@ class DistanceOracle:
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters = SchemeParameters(),
+        params: Optional[SchemeParameters] = None,
         hierarchy: Optional[NetHierarchy] = None,
     ) -> None:
+        if params is None:
+            params = SchemeParameters()
         if params.epsilon > 0.5:
             raise PreprocessingError(
                 "the distance oracle requires epsilon <= 1/2"

@@ -1,0 +1,287 @@
+"""Memoizing build context for substrates and schemes.
+
+Every scheme in this library is a deterministic function of
+``(graph, SchemeParameters, construction kwargs)``, and the expensive
+intermediates — the APSP :class:`GraphMetric`, the :class:`NetHierarchy`,
+the :class:`BallPacking` — are shared by several schemes.  A
+:class:`BuildContext` builds each artifact exactly once per key and hands
+the same object to every consumer:
+
+* ``context.metric(graph)`` — APSP matrix computed once per graph
+  (keyed by a content hash of nodes, edges, and weights);
+* ``context.hierarchy(metric)`` / ``context.packing(metric)`` — one
+  substrate per metric, shared across all schemes built on it;
+* ``context.scheme(cls, metric, params)`` — resolves the scheme's
+  substrate dependencies through the context (see
+  ``RoutingScheme.from_context``) and memoizes the built scheme;
+* ``context.pairs(metric, count, seed)`` — the evaluation pair sample,
+  deduplicated across experiments.
+
+With ``cache_dir`` set (conventionally ``.repro-cache/``), artifacts are
+additionally pickled to disk keyed by the same content hash, so a second
+process — or a second run — skips construction entirely.  Delete the
+directory (``rm -rf .repro-cache``) to drop all cached artifacts; keys
+include a format version, so stale caches are never silently reused
+across incompatible library versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+import networkx as nx
+
+from repro.core.params import SchemeParameters
+from repro.core.types import NodeId
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.hierarchy import NetHierarchy
+from repro.packing.ballpacking import BallPacking
+from repro.pipeline.sampling import sample_ordered_pairs
+
+#: Bump when artifact layout changes so on-disk caches self-invalidate.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass
+class BuildStats:
+    """Hit/miss counters per artifact kind (for tests and logging)."""
+
+    hits: Dict[str, int] = dataclasses.field(default_factory=dict)
+    misses: Dict[str, int] = dataclasses.field(default_factory=dict)
+    disk_hits: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def record(self, kind: str, outcome: str) -> None:
+        counter = getattr(self, outcome)
+        counter[kind] = counter.get(kind, 0) + 1
+
+    def built(self, kind: str) -> int:
+        """Number of artifacts of ``kind`` actually constructed."""
+        return self.misses.get(kind, 0)
+
+
+def graph_content_key(graph: nx.Graph) -> str:
+    """Content hash of a graph: nodes, edges, and exact weights.
+
+    Any change to the node set, the edge set, or a single edge weight
+    changes the key — so cached artifacts can never be reused across
+    different inputs.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"v{CACHE_FORMAT_VERSION}|n={graph.number_of_nodes()}|".encode())
+    for v in sorted(graph.nodes()):
+        hasher.update(f"N{v!r};".encode())
+    edges = sorted(
+        (min(u, v), max(u, v), float(d.get("weight", 1.0)))
+        for u, v, d in graph.edges(data=True)
+    )
+    for u, v, w in edges:
+        hasher.update(f"E{u!r},{v!r},{w!r};".encode())
+    return hasher.hexdigest()
+
+
+def params_key(params: SchemeParameters) -> Tuple[float, bool]:
+    """Canonical cache key of a :class:`SchemeParameters`."""
+    return (params.epsilon, params.tie_break_by_id)
+
+
+def _canonical_kwarg(value: Any) -> Any:
+    """Hashable canonical form of a construction kwarg, or None.
+
+    Substrate objects (hierarchies, schemes, ...) are intentionally not
+    canonicalized: passing one explicitly bypasses memoization, since
+    the context cannot prove two instances interchangeable.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, type):
+        return f"{value.__module__}.{value.__qualname__}"
+    if isinstance(value, (list, tuple)):
+        items = [_canonical_kwarg(v) for v in value]
+        if any(item is _UNKEYABLE for item in items):
+            return _UNKEYABLE
+        return tuple(items)
+    return _UNKEYABLE
+
+
+_UNKEYABLE = object()
+
+
+class BuildContext:
+    """Shared-substrate factory: build once, reuse everywhere.
+
+    Args:
+        cache_dir: Optional directory for the on-disk artifact cache
+            (conventionally ``.repro-cache/``).  ``None`` (the default)
+            keeps the cache in memory only.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self._memory: Dict[Tuple, Any] = {}
+        self._metric_keys: Dict[int, str] = {}
+        self._cache_dir = cache_dir
+        self.stats = BuildStats()
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # -- keys -----------------------------------------------------------
+
+    def metric_key(self, metric: GraphMetric) -> str:
+        """Graph content key of a metric (cached per metric object).
+
+        Works for metrics built outside the context too: the key is
+        computed from the underlying (relabelled) graph.  The metric's
+        normalization is part of the graph content, so two metrics over
+        the same graph share the key.
+        """
+        key = self._metric_keys.get(id(metric))
+        if key is None:
+            key = graph_content_key(metric.graph)
+            self._metric_keys[id(metric)] = key
+        return key
+
+    # -- generic memoization -------------------------------------------
+
+    def _get_or_build(self, kind: str, key: Tuple, builder) -> Any:
+        full_key = (kind,) + key
+        if full_key in self._memory:
+            self.stats.record(kind, "hits")
+            return self._memory[full_key]
+        artifact = self._disk_load(kind, full_key)
+        if artifact is None:
+            self.stats.record(kind, "misses")
+            artifact = builder()
+            self._disk_store(kind, full_key, artifact)
+        else:
+            self.stats.record(kind, "disk_hits")
+        self._memory[full_key] = artifact
+        return artifact
+
+    def _disk_path(self, kind: str, full_key: Tuple) -> Optional[str]:
+        if self._cache_dir is None:
+            return None
+        digest = hashlib.sha256(repr(full_key).encode()).hexdigest()[:24]
+        return os.path.join(self._cache_dir, f"{kind}-{digest}.pkl")
+
+    def _disk_load(self, kind: str, full_key: Tuple) -> Any:
+        path = self._disk_path(kind, full_key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                stored_key, artifact = pickle.load(handle)
+        except Exception:
+            # Corrupt, truncated, or stale entries raise a grab-bag of
+            # exceptions from deep inside pickle; any failure to load
+            # just means "rebuild".
+            return None
+        if stored_key != full_key:  # digest collision (vanishingly rare)
+            return None
+        return artifact
+
+    def _disk_store(self, kind: str, full_key: Tuple, artifact: Any) -> None:
+        path = self._disk_path(kind, full_key)
+        if path is None:
+            return
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump((full_key, artifact), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError, RecursionError):
+            # Unpicklable or disk-full artifacts simply stay memory-only.
+            if os.path.exists(tmp):
+                os.remove(tmp)
+
+    # -- substrates -----------------------------------------------------
+
+    def metric(self, graph: nx.Graph, normalize: bool = True) -> GraphMetric:
+        """The APSP metric of ``graph``, built once per content hash."""
+        key = (graph_content_key(graph), normalize)
+        metric = self._get_or_build(
+            "metric", key, lambda: GraphMetric(graph, normalize=normalize)
+        )
+        self._metric_keys.setdefault(id(metric), key[0])
+        return metric
+
+    def hierarchy(
+        self, metric: GraphMetric, root: Optional[NodeId] = None
+    ) -> NetHierarchy:
+        """The ``2^i``-net hierarchy of ``metric``, built once."""
+        key = (self.metric_key(metric), root)
+        return self._get_or_build(
+            "hierarchy", key, lambda: NetHierarchy(metric, root=root)
+        )
+
+    def packing(self, metric: GraphMetric) -> BallPacking:
+        """The Lemma 2.3 ball packings of ``metric``, built once."""
+        key = (self.metric_key(metric),)
+        return self._get_or_build("packing", key, lambda: BallPacking(metric))
+
+    def pairs(
+        self, metric: GraphMetric, count: int, seed: int = 0
+    ) -> List[Tuple[NodeId, NodeId]]:
+        """Deterministic evaluation pairs, deduplicated across callers."""
+        key = (self.metric_key(metric), metric.n, count, seed)
+        return self._get_or_build(
+            "pairs",
+            key,
+            lambda: sample_ordered_pairs(metric.n, count, seed=seed),
+        )
+
+    # -- schemes --------------------------------------------------------
+
+    def scheme(
+        self,
+        scheme_cls: Type,
+        metric: GraphMetric,
+        params: Optional[SchemeParameters] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Build ``scheme_cls`` with substrates resolved via this context.
+
+        The built scheme is memoized by ``(graph, class, params,
+        kwargs)`` when every kwarg has a canonical value (ints, strings,
+        classes, tuples of those).  Passing a live substrate object
+        (``hierarchy=...``, ``underlying=...``) bypasses memoization of
+        the scheme itself, but the substrates the class resolves through
+        ``from_context`` are still shared.
+        """
+        if params is None:
+            params = SchemeParameters()
+        canonical = tuple(
+            (name, _canonical_kwarg(value))
+            for name, value in sorted(kwargs.items())
+        )
+        cls_name = f"{scheme_cls.__module__}.{scheme_cls.__qualname__}"
+        if any(value is _UNKEYABLE for _, value in canonical):
+            self.stats.record("scheme", "misses")
+            return scheme_cls.from_context(self, metric, params, **kwargs)
+        key = (self.metric_key(metric), cls_name, params_key(params), canonical)
+        return self._get_or_build(
+            "scheme",
+            key,
+            lambda: scheme_cls.from_context(self, metric, params, **kwargs),
+        )
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear_memory(self) -> None:
+        """Drop every in-memory artifact (disk entries are kept)."""
+        self._memory.clear()
+        self._metric_keys.clear()
+
+    def __repr__(self) -> str:
+        kinds = sorted(
+            set(self.stats.hits) | set(self.stats.misses) | set(self.stats.disk_hits)
+        )
+        parts = ", ".join(
+            f"{kind}: {self.stats.hits.get(kind, 0)}h/"
+            f"{self.stats.misses.get(kind, 0)}m"
+            for kind in kinds
+        )
+        disk = "on" if self._cache_dir else "off"
+        return f"BuildContext(disk={disk}, {parts})"

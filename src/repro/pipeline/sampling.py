@@ -1,0 +1,72 @@
+"""Deterministic source-destination pair sampling.
+
+One sampler, shared by the experiment harness (stretch measurements),
+the traffic simulator (Poisson demands), and any future workload
+generator — so "the same seed" means the same pairs everywhere and the
+rejection loop is written exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.types import NodeId
+
+#: Predicate deciding that an ordered pair must not be sampled.
+PairExclusion = Callable[[NodeId, NodeId], bool]
+
+
+def draw_pair(
+    rng: random.Random,
+    n: int,
+    exclude: Optional[PairExclusion] = None,
+) -> Tuple[NodeId, NodeId]:
+    """One ordered pair ``(u, v)`` with ``u != v`` and not excluded.
+
+    Rejection-samples from the uniform distribution over allowed pairs;
+    the exclusion predicate must leave at least one ordered pair
+    allowed or this loops forever (callers pass light filters such as
+    "not in the already-seen set" or "not adjacent").
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes to draw a pair")
+    while True:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if exclude is not None and exclude(u, v):
+            continue
+        return u, v
+
+
+def sample_ordered_pairs(
+    n: int,
+    count: int,
+    seed: int = 0,
+    exclude: Optional[PairExclusion] = None,
+) -> List[Tuple[NodeId, NodeId]]:
+    """Deterministic sample of distinct ordered pairs over ``[n]``.
+
+    Samples without replacement when possible; falls back to
+    enumerating all allowed pairs when ``count`` covers them.
+    """
+    allowed_total = n * (n - 1)
+    if count >= allowed_total:
+        return [
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and (exclude is None or not exclude(u, v))
+        ]
+    rng = random.Random(seed)
+    seen: set = set()
+    pairs: List[Tuple[NodeId, NodeId]] = []
+    while len(pairs) < count:
+        u, v = draw_pair(rng, n, exclude)
+        if (u, v) in seen:
+            continue
+        seen.add((u, v))
+        pairs.append((u, v))
+    return pairs

@@ -168,9 +168,13 @@ def uniform_demands(
 
     Injection times are deterministic given the seed (exponential
     inter-arrivals drawn from a seeded PRNG), making simulations
-    reproducible.
+    reproducible.  Pairs come from the shared sampler in
+    :mod:`repro.pipeline.sampling` (with replacement across demands —
+    the same flow may recur, unlike a stretch-measurement sample).
     """
     import random
+
+    from repro.pipeline.sampling import draw_pair
 
     if n < 2:
         raise ValueError("need at least two nodes")
@@ -181,9 +185,6 @@ def uniform_demands(
     clock = 0.0
     for _ in range(count):
         clock += rng.expovariate(rate)
-        source = rng.randrange(n)
-        target = rng.randrange(n)
-        while target == source:
-            target = rng.randrange(n)
+        source, target = draw_pair(rng, n)
         demands.append(Demand(source=source, target=target, inject_at=clock))
     return demands

@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.bitcount import bits_for_count, bits_for_id
-from repro.core.types import NodeId
 from repro.runtime.bitstream import BitReader, BitWriter
 from repro.runtime.stepwise import LocalEntry, LocalLabeledNode
 

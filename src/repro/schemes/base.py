@@ -30,15 +30,56 @@ from repro.core.types import NodeId, PreprocessingError, RouteResult
 from repro.metric.graph_metric import GraphMetric
 
 
+def _evaluate_pairs_chunk(payload):
+    """Process-pool worker: route one contiguous chunk of pairs.
+
+    Returns ``(stretches, worst)`` where ``worst`` is the chunk's first
+    strictly-largest-stretch :class:`RouteResult` — the same tie rule the
+    serial loop applies, so merging chunks in order reproduces the serial
+    result exactly.  Module-level so it pickles.
+    """
+    scheme, chunk = payload
+    stretches: List[float] = []
+    worst: Optional[RouteResult] = None
+    for u, v in chunk:
+        result = scheme.route(u, v)
+        stretches.append(result.stretch)
+        if worst is None or result.stretch > worst.stretch:
+            worst = result
+    return stretches, worst
+
+
 class RoutingScheme(abc.ABC):
     """Abstract base for all routing schemes."""
 
     #: Human-readable scheme name used in experiment tables.
     name: str = "abstract"
 
-    def __init__(self, metric: GraphMetric, params: SchemeParameters) -> None:
+    def __init__(
+        self, metric: GraphMetric, params: Optional[SchemeParameters] = None
+    ) -> None:
+        if params is None:
+            params = SchemeParameters()
         self._metric = metric
         self._params = params
+        self._table_bits_cache: Optional[List[int]] = None
+
+    @classmethod
+    def from_context(
+        cls,
+        context,
+        metric: GraphMetric,
+        params: Optional[SchemeParameters] = None,
+        **kwargs,
+    ) -> "RoutingScheme":
+        """Construct with substrates resolved through a ``BuildContext``.
+
+        The base implementation is a plain constructor call; schemes
+        with expensive substrate dependencies (net hierarchies, ball
+        packings, underlying labeled schemes) override this to pull them
+        from ``context`` so every scheme in a run shares one copy.
+        """
+        return cls(metric, params, **kwargs)
 
     @property
     def metric(self) -> GraphMetric:
@@ -69,16 +110,27 @@ class RoutingScheme(abc.ABC):
     def header_bits(self) -> int:
         """Maximum packet-header size used by the scheme, in bits."""
 
+    def table_bits_vector(self) -> List[int]:
+        """Per-node table sizes, computed once and cached.
+
+        Tables are frozen after preprocessing, so the vector never goes
+        stale; the aggregate accessors below all read from it instead of
+        re-walking every table per call.
+        """
+        if self._table_bits_cache is None:
+            self._table_bits_cache = [
+                self.table_bits(v) for v in self._metric.nodes
+            ]
+        return self._table_bits_cache
+
     def max_table_bits(self) -> int:
-        return max(self.table_bits(v) for v in self._metric.nodes)
+        return max(self.table_bits_vector())
 
     def avg_table_bits(self) -> float:
-        return statistics.fmean(
-            self.table_bits(v) for v in self._metric.nodes
-        )
+        return statistics.fmean(self.table_bits_vector())
 
     def total_table_bits(self) -> int:
-        return sum(self.table_bits(v) for v in self._metric.nodes)
+        return sum(self.table_bits_vector())
 
     # -- evaluation -----------------------------------------------------
 
@@ -91,11 +143,17 @@ class RoutingScheme(abc.ABC):
         return None
 
     def evaluate(
-        self, pairs: Optional[Iterable[Tuple[NodeId, NodeId]]] = None
+        self,
+        pairs: Optional[Iterable[Tuple[NodeId, NodeId]]] = None,
+        jobs: int = 1,
     ) -> "SchemeEvaluation":
         """Route every pair and summarize stretch statistics.
 
-        Defaults to all ordered pairs of distinct nodes.
+        Defaults to all ordered pairs of distinct nodes.  With
+        ``jobs > 1`` the pairs are routed by a process pool in
+        contiguous ordered chunks; the merged statistics are
+        bit-identical to the serial path (same stretch list, same
+        first-strictly-greater worst-pair rule).
         """
         if pairs is None:
             pairs = (
@@ -104,13 +162,33 @@ class RoutingScheme(abc.ABC):
                 for v in self._metric.nodes
                 if u != v
             )
-        stretches: List[float] = []
-        worst: Optional[RouteResult] = None
-        for u, v in pairs:
-            result = self.route(u, v)
-            stretches.append(result.stretch)
-            if worst is None or result.stretch > worst.stretch:
-                worst = result
+        if jobs != 1:
+            pairs = list(pairs)
+        if jobs != 1 and len(pairs) >= 2:
+            from repro.pipeline.parallel import chunk_evenly, parallel_map, resolve_jobs
+
+            chunks = chunk_evenly(pairs, resolve_jobs(jobs))
+            outcomes = parallel_map(
+                _evaluate_pairs_chunk,
+                [(self, chunk) for chunk in chunks],
+                jobs=jobs,
+            )
+            stretches = []
+            worst = None
+            for chunk_stretches, chunk_worst in outcomes:
+                stretches.extend(chunk_stretches)
+                if chunk_worst is not None and (
+                    worst is None or chunk_worst.stretch > worst.stretch
+                ):
+                    worst = chunk_worst
+        else:
+            stretches = []
+            worst = None
+            for u, v in pairs:
+                result = self.route(u, v)
+                stretches.append(result.stretch)
+                if worst is None or result.stretch > worst.stretch:
+                    worst = result
         if not stretches:
             raise ValueError("no pairs evaluated")
         return SchemeEvaluation(
@@ -174,7 +252,7 @@ class NameIndependentScheme(RoutingScheme):
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters,
+        params: Optional[SchemeParameters] = None,
         naming: Optional[Sequence[int]] = None,
     ) -> None:
         super().__init__(metric, params)

@@ -25,8 +25,7 @@ are polynomial, not polylogarithmic — that contrast is the point.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.bitcount import bits_for_id
 from repro.core.params import SchemeParameters
@@ -43,7 +42,7 @@ class CowenLandmarkScheme(LabeledScheme):
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters = SchemeParameters(),
+        params: Optional[SchemeParameters] = None,
         landmark_count: Optional[int] = None,
     ) -> None:
         super().__init__(metric, params)

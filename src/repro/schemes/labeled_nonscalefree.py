@@ -48,11 +48,11 @@ class NonScaleFreeLabeledScheme(LabeledScheme):
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters = SchemeParameters(),
+        params: Optional[SchemeParameters] = None,
         hierarchy: Optional[NetHierarchy] = None,
     ) -> None:
         super().__init__(metric, params)
-        if params.epsilon > 0.5:
+        if self._params.epsilon > 0.5:
             raise PreprocessingError(
                 "labeled schemes require epsilon <= 1/2 (Lemma 3.1)"
             )
@@ -62,6 +62,11 @@ class NonScaleFreeLabeledScheme(LabeledScheme):
             {} for _ in metric.nodes
         ]
         self._build_rings()
+
+    @classmethod
+    def from_context(cls, context, metric, params=None, **kwargs):
+        kwargs.setdefault("hierarchy", context.hierarchy(metric))
+        return cls(metric, params, **kwargs)
 
     def _build_rings(self) -> None:
         metric = self._metric

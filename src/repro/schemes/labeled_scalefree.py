@@ -35,7 +35,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.bitcount import BitCounter, bits_for_count, bits_for_id
+from repro.core.bitcount import BitCounter, bits_for_id
 from repro.core.params import SchemeParameters
 from repro.core.types import NodeId, PreprocessingError, RouteFailure, RouteResult
 from repro.metric.graph_metric import DISTANCE_SLACK, GraphMetric
@@ -57,13 +57,13 @@ class ScaleFreeLabeledScheme(LabeledScheme):
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters = SchemeParameters(),
+        params: Optional[SchemeParameters] = None,
         hierarchy: Optional[NetHierarchy] = None,
         packing: Optional[BallPacking] = None,
         tree_router_cls: type = TreeRouter,
     ) -> None:
         super().__init__(metric, params)
-        if params.epsilon > 0.5:
+        if self._params.epsilon > 0.5:
             raise PreprocessingError(
                 "labeled schemes require epsilon <= 1/2"
             )
@@ -91,6 +91,12 @@ class ScaleFreeLabeledScheme(LabeledScheme):
         self._build_voronoi_layers()
         # Bits per node for everything except the rings, precomputed.
         self._struct_bits: List[int] = self._account_structures()
+
+    @classmethod
+    def from_context(cls, context, metric, params=None, **kwargs):
+        kwargs.setdefault("hierarchy", context.hierarchy(metric))
+        kwargs.setdefault("packing", context.packing(metric))
+        return cls(metric, params, **kwargs)
 
     # ------------------------------------------------------------------
     # Construction

@@ -28,7 +28,6 @@ The underlying labeled scheme is the scale-free Theorem 1.2 scheme.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.bitcount import BitCounter, bits_for_count, bits_for_id
@@ -36,8 +35,8 @@ from repro.core.params import SchemeParameters
 from repro.core.types import NodeId, RouteFailure, RouteResult
 from repro.metric.graph_metric import DISTANCE_SLACK, GraphMetric
 from repro.nets.hierarchy import NetHierarchy
-from repro.packing.ballpacking import BallPacking, PackedBall
-from repro.schemes.base import LabeledScheme, NameIndependentScheme
+from repro.packing.ballpacking import BallPacking
+from repro.schemes.base import NameIndependentScheme
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 from repro.searchtree.tree import SearchTree
 
@@ -50,13 +49,13 @@ class ScaleFreeNameIndependentScheme(NameIndependentScheme):
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters = SchemeParameters(),
+        params: Optional[SchemeParameters] = None,
         naming: Optional[List[int]] = None,
         underlying: Optional[ScaleFreeLabeledScheme] = None,
     ) -> None:
         super().__init__(metric, params, naming)
         if underlying is None:
-            underlying = ScaleFreeLabeledScheme(metric, params)
+            underlying = ScaleFreeLabeledScheme(metric, self._params)
         self._underlying = underlying
         self._hierarchy: NetHierarchy = underlying.hierarchy
         self._packing: BallPacking = underlying.packing
@@ -71,6 +70,14 @@ class ScaleFreeNameIndependentScheme(NameIndependentScheme):
         self._build_packed_trees()
         self._assign_levels()
         self._tree_bits: List[int] = self._account_trees()
+
+    @classmethod
+    def from_context(cls, context, metric, params=None, **kwargs):
+        if kwargs.get("underlying") is None:
+            kwargs["underlying"] = context.scheme(
+                ScaleFreeLabeledScheme, metric, params
+            )
+        return cls(metric, params, **kwargs)
 
     # ------------------------------------------------------------------
     # Construction

@@ -22,9 +22,9 @@ levels of search trees are exactly what Theorem 1.1 removes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.core.bitcount import BitCounter, bits_for_count, bits_for_id
+from repro.core.bitcount import BitCounter, bits_for_id
 from repro.core.params import SchemeParameters
 from repro.core.types import NodeId, RouteFailure, RouteResult
 from repro.metric.graph_metric import GraphMetric
@@ -42,19 +42,27 @@ class SimpleNameIndependentScheme(NameIndependentScheme):
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters = SchemeParameters(),
+        params: Optional[SchemeParameters] = None,
         naming: Optional[List[int]] = None,
         underlying: Optional[LabeledScheme] = None,
     ) -> None:
         super().__init__(metric, params, naming)
         if underlying is None:
-            underlying = NonScaleFreeLabeledScheme(metric, params)
+            underlying = NonScaleFreeLabeledScheme(metric, self._params)
         self._underlying = underlying
         self._hierarchy: NetHierarchy = underlying.hierarchy
         # _trees[i][x] = search tree T(x, 2^i/ε), for x in Y_i.
         self._trees: List[Dict[NodeId, SearchTree]] = []
         self._build_search_trees()
         self._tree_bits: List[int] = self._account_trees()
+
+    @classmethod
+    def from_context(cls, context, metric, params=None, **kwargs):
+        if kwargs.get("underlying") is None:
+            kwargs["underlying"] = context.scheme(
+                NonScaleFreeLabeledScheme, metric, params
+            )
+        return cls(metric, params, **kwargs)
 
     # ------------------------------------------------------------------
 

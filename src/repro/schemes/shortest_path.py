@@ -10,6 +10,8 @@ it in every experiment.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.bitcount import bits_for_id
 from repro.core.params import SchemeParameters
 from repro.core.types import NodeId, RouteResult
@@ -25,7 +27,7 @@ class ShortestPathScheme(NameIndependentScheme):
     def __init__(
         self,
         metric: GraphMetric,
-        params: SchemeParameters = SchemeParameters(),
+        params: Optional[SchemeParameters] = None,
         naming=None,
     ) -> None:
         super().__init__(metric, params, naming)

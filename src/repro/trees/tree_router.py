@@ -22,10 +22,10 @@ unaffected.  See DESIGN.md, faithfulness notes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.bitcount import bits_for_id
-from repro.core.types import NodeId, PreprocessingError, RouteFailure
+from repro.core.types import NodeId, RouteFailure
 from repro.trees.spt import ShortestPathTree
 
 

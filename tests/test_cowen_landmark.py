@@ -21,12 +21,12 @@ class TestConstruction:
         assert len(scheme.landmarks) == round(grid_metric.n ** (1 / 3))
 
     def test_landmarks_are_nodes(self, scheme, grid_metric):
-        assert all(0 <= l < grid_metric.n for l in scheme.landmarks)
+        assert all(0 <= lm < grid_metric.n for lm in scheme.landmarks)
 
     def test_home_is_nearest_landmark(self, scheme, grid_metric):
         for v in grid_metric.nodes:
             best = min(
-                grid_metric.distance(v, l) for l in scheme.landmarks
+                grid_metric.distance(v, lm) for lm in scheme.landmarks
             )
             assert grid_metric.distance(
                 v, scheme.home_landmark(v)
@@ -49,8 +49,8 @@ class TestConstruction:
         # cluster via the strict inequality with distance 0 ... except
         # the trivial consequence that landmarks are never in clusters.
         for u in range(0, scheme.metric.n, 5):
-            for l in scheme.landmarks:
-                assert l not in scheme.cluster(u)
+            for lm in scheme.landmarks:
+                assert lm not in scheme.cluster(u)
 
     def test_bad_landmark_count_rejected(self, grid_metric):
         with pytest.raises(PreprocessingError):
@@ -88,9 +88,9 @@ class TestRouting:
 
     def test_landmark_targets_routed_optimally(self, scheme):
         for u in range(0, scheme.metric.n, 5):
-            for l in scheme.landmarks:
-                if u != l:
-                    assert scheme.route(u, l).stretch == pytest.approx(1.0)
+            for lm in scheme.landmarks:
+                if u != lm:
+                    assert scheme.route(u, lm).stretch == pytest.approx(1.0)
 
     def test_works_on_all_families(self, any_metric, params):
         scheme = CowenLandmarkScheme(any_metric, params)

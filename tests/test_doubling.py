@@ -1,11 +1,6 @@
 """Tests for doubling-dimension and growth-bound estimation."""
 
-import math
-
-import pytest
-
 from repro.graphs.generators import (
-    grid_2d,
     grid_with_holes,
     path_graph,
     star_graph,

@@ -1,7 +1,5 @@
 """Tests for the workload graph generators."""
 
-import math
-
 import networkx as nx
 import pytest
 

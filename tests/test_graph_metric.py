@@ -1,12 +1,10 @@
 """Unit tests for the shortest-path metric substrate."""
 
-import math
-
 import networkx as nx
 import pytest
 
 from repro.core.types import PreprocessingError
-from repro.graphs.generators import grid_2d, path_graph
+from repro.graphs.generators import path_graph
 from repro.metric.graph_metric import GraphMetric, stretch_of
 
 

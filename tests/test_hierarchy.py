@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.types import PreprocessingError
-from repro.graphs.generators import path_graph
 from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
 from repro.nets.rnet import is_rnet

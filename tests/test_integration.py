@@ -7,7 +7,6 @@ against each other and the baseline oracle.
 
 import pytest
 
-from repro.core.params import SchemeParameters
 from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme

@@ -1,0 +1,215 @@
+"""Tests for the shared-substrate build pipeline (repro.pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SchemeParameters
+from repro.experiments.harness import sample_pairs
+from repro.experiments.table1 import SCHEMES as TABLE1_SCHEMES
+from repro.graphs.generators import grid_2d, random_geometric
+from repro.pipeline.context import BuildContext, graph_content_key
+from repro.pipeline.registry import REGISTRY, run_experiment
+from repro.pipeline.parallel import chunk_evenly, resolve_jobs
+from repro.pipeline.sampling import sample_ordered_pairs
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_2d(5)
+
+
+# -- substrate sharing ------------------------------------------------------
+
+
+def test_two_schemes_share_substrates(graph):
+    """Two schemes built from one context hold the *same* substrate objects."""
+    context = BuildContext()
+    metric = context.metric(graph)
+    params = SchemeParameters(epsilon=0.5)
+    simple = context.scheme(SimpleNameIndependentScheme, metric, params)
+    scalefree = context.scheme(ScaleFreeNameIndependentScheme, metric, params)
+    assert simple.hierarchy is scalefree.hierarchy
+    assert scalefree.underlying.packing is context.packing(metric)
+    assert simple.hierarchy is context.hierarchy(metric)
+
+
+def test_table1_schemes_build_each_substrate_once(graph):
+    """All Table-1 schemes on one graph: APSP, hierarchy, packing once each."""
+    context = BuildContext()
+    params = SchemeParameters(epsilon=0.5)
+    metric = context.metric(graph)
+    for scheme_cls, _label in TABLE1_SCHEMES:
+        context.scheme(scheme_cls, metric, params)
+    assert context.stats.built("metric") == 1
+    assert context.stats.built("hierarchy") == 1
+    assert context.stats.built("packing") == 1
+
+
+def test_repeated_builds_hit_the_cache(graph):
+    context = BuildContext()
+    metric = context.metric(graph)
+    assert context.metric(graph) is metric
+    first = context.scheme(SimpleNameIndependentScheme, metric)
+    again = context.scheme(SimpleNameIndependentScheme, metric)
+    assert first is again
+    assert context.stats.hits.get("scheme", 0) >= 1
+    assert context.stats.built("scheme") >= 1  # the underlying + the wrapper
+
+
+# -- cache-key sensitivity --------------------------------------------------
+
+
+def test_epsilon_change_misses_scheme_cache(graph):
+    context = BuildContext()
+    metric = context.metric(graph)
+    coarse = context.scheme(
+        SimpleNameIndependentScheme, metric, SchemeParameters(epsilon=0.5)
+    )
+    fine = context.scheme(
+        SimpleNameIndependentScheme, metric, SchemeParameters(epsilon=0.25)
+    )
+    assert coarse is not fine
+    # ...but the epsilon-independent hierarchy is still shared.
+    assert context.stats.built("hierarchy") == 1
+
+
+def test_edge_weight_change_misses_metric_cache():
+    context = BuildContext()
+    g1 = grid_2d(4)
+    g2 = grid_2d(4)
+    u, v = next(iter(g2.edges()))
+    g2[u][v]["weight"] = 7.0
+    assert graph_content_key(g1) != graph_content_key(g2)
+    m1 = context.metric(g1)
+    m2 = context.metric(g2)
+    assert m1 is not m2
+    assert context.stats.built("metric") == 2
+
+
+def test_graph_content_key_is_content_based():
+    assert graph_content_key(grid_2d(4)) == graph_content_key(grid_2d(4))
+
+
+# -- on-disk cache ----------------------------------------------------------
+
+
+def test_disk_cache_round_trip(tmp_path, graph):
+    cache_dir = str(tmp_path / "repro-cache")
+    params = SchemeParameters(epsilon=0.5)
+
+    first = BuildContext(cache_dir=cache_dir)
+    metric = first.metric(graph)
+    scheme = first.scheme(ScaleFreeNameIndependentScheme, metric, params)
+    pairs = first.pairs(metric, 40)
+    want = [scheme.route(u, v) for u, v in pairs]
+    assert first.stats.built("metric") == 1
+
+    second = BuildContext(cache_dir=cache_dir)
+    metric2 = second.metric(graph)
+    scheme2 = second.scheme(ScaleFreeNameIndependentScheme, metric2, params)
+    assert second.stats.built("metric") == 0  # loaded, not rebuilt
+    assert sum(second.stats.disk_hits.values()) >= 1
+    got = [scheme2.route(u, v) for u, v in second.pairs(metric2, 40)]
+    assert [(r.path, r.stretch) for r in got] == [
+        (r.path, r.stretch) for r in want
+    ]
+
+
+@pytest.mark.parametrize(
+    "junk", [b"not a pickle", b"garbage\n", b"", b"\x80\x05trunc"]
+)
+def test_corrupt_disk_entry_is_rebuilt(tmp_path, graph, junk):
+    cache_dir = tmp_path / "repro-cache"
+    first = BuildContext(cache_dir=str(cache_dir))
+    first.metric(graph)
+    for entry in cache_dir.iterdir():
+        entry.write_bytes(junk)
+    second = BuildContext(cache_dir=str(cache_dir))
+    second.metric(graph)
+    assert second.stats.built("metric") == 1
+
+
+# -- parallel evaluation ----------------------------------------------------
+
+
+def test_parallel_evaluate_matches_serial(graph):
+    context = BuildContext()
+    metric = context.metric(graph)
+    scheme = context.scheme(
+        ScaleFreeNameIndependentScheme, metric, SchemeParameters(epsilon=0.5)
+    )
+    pairs = context.pairs(metric, 60)
+    serial = scheme.evaluate(pairs)
+    parallel = scheme.evaluate(pairs, jobs=2)
+    assert parallel == serial  # dataclass equality: every field bit-identical
+
+
+def test_chunk_evenly_preserves_order_and_content():
+    items = list(range(13))
+    chunks = chunk_evenly(items, 4)
+    assert [x for chunk in chunks for x in chunk] == items
+    assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+# -- pair sampling ----------------------------------------------------------
+
+
+def test_sample_pairs_exclusion_predicate(graph):
+    context = BuildContext()
+    metric = context.metric(graph)
+    forbidden = {0, 1, 2}
+    pairs = sample_pairs(
+        metric, 50, exclude=lambda u, v: u in forbidden or v in forbidden
+    )
+    assert pairs
+    assert all(u not in forbidden and v not in forbidden for u, v in pairs)
+    assert all(u != v for u, v in pairs)
+
+
+def test_sample_ordered_pairs_deterministic_and_distinct():
+    a = sample_ordered_pairs(30, 100, seed=5)
+    b = sample_ordered_pairs(30, 100, seed=5)
+    assert a == b
+    assert len(set(a)) == len(a) == 100
+    assert sample_ordered_pairs(30, 100, seed=6) != a
+
+
+def test_sample_ordered_pairs_exhaustive_when_count_exceeds_pairs():
+    pairs = sample_ordered_pairs(4, 1000)
+    assert len(pairs) == 4 * 3
+    assert len(set(pairs)) == 12
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_registry_covers_every_experiment_module():
+    assert "table1" in REGISTRY and "storage-audit" in REGISTRY
+    assert len(REGISTRY) >= 14
+
+
+def test_run_experiment_unknown_name_raises():
+    with pytest.raises(KeyError):
+        run_experiment("no-such-experiment")
+
+
+def test_run_experiment_shares_context_across_calls():
+    context = BuildContext()
+    suite_graph = random_geometric(24, seed=3)
+    # Prime the context, then confirm a registry run reuses its artifacts.
+    context.metric(suite_graph)
+    tables = run_experiment(
+        "structures", epsilon=0.5, pair_count=20, context=context
+    )
+    assert tables and all(t.rows for t in tables)

@@ -9,7 +9,6 @@ arbitrary namings.
 
 import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,13 +1,11 @@
 """Tests for greedy r-net construction (Definition 2.1), incl. hypothesis."""
 
-import math
-
 import networkx as nx
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs.generators import grid_2d, path_graph
+from repro.graphs.generators import path_graph
 from repro.metric.graph_metric import GraphMetric
 from repro.nets.rnet import greedy_rnet, is_rnet
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.params import SchemeParameters
 from repro.runtime.bitstream import BitReader, BitWriter
 from repro.runtime.headers import (
     FieldSpec,

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.types import PreprocessingError
-from repro.graphs.generators import path_graph
 from repro.metric.graph_metric import GraphMetric
 from repro.searchtree.tree import SearchTree
 

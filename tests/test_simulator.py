@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.params import SchemeParameters
 from repro.graphs.generators import path_graph
 from repro.metric.graph_metric import GraphMetric
 from repro.runtime.simulator import (

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.params import SchemeParameters
 from repro.graphs.generators import grid_2d
 from repro.metric.graph_metric import GraphMetric
 from repro.runtime.simulator import Demand, TrafficSimulator

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core.params import SchemeParameters
 from repro.experiments import storage_audit
 from repro.graphs.generators import grid_2d
-from repro.metric.graph_metric import GraphMetric
 from repro.runtime.stepwise import StepwiseLabeledRouter
 from repro.runtime.tables import (
     TableLayout,
