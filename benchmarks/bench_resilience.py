@@ -1,0 +1,60 @@
+"""Benchmark the resilience subsystem (E16).
+
+Reproduces the numbers recorded in ``BENCH_resilience.json``:
+
+* ``routing_seconds`` — wall clock of the full E16 delivery/stretch
+  table (4 graphs x 3 schemes x 3 policies, 300 pairs each);
+* per-graph ``cold_seconds`` / ``incremental_seconds`` — rebuilding the
+  scheme trio after a fail-and-recover cycle from a fresh context vs
+  the warm context that built the pre-failure schemes (content-hash
+  cache hits), with the artifact built/reused counts that make the
+  saving auditable.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_resilience.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.params import SchemeParameters
+from repro.experiments.harness import standard_suite
+from repro.experiments.resilience import SCHEME_LINEUP, run
+from repro.pipeline.context import BuildContext
+from repro.resilience.repair import measure_repair, rebuild_through_context
+
+
+def main() -> None:
+    context = BuildContext()
+    start = time.perf_counter()
+    run(pair_count=300, context=context, jobs=1)
+    routing_seconds = round(time.perf_counter() - start, 2)
+
+    params = SchemeParameters(epsilon=0.5)
+    classes = [cls for cls, _ in SCHEME_LINEUP]
+    repair = {}
+    for graph_name, graph in standard_suite("small"):
+        warm = BuildContext()
+        rebuild_through_context(warm, graph, classes, params, label="prime")
+        cold, incremental = measure_repair(
+            graph, classes, params, warm_context=warm
+        )
+        repair[graph_name] = {
+            "cold_seconds": round(cold.seconds, 4),
+            "cold_built": cold.built_total,
+            "incremental_seconds": round(incremental.seconds, 4),
+            "incremental_built": incremental.built_total,
+            "incremental_reused": incremental.reused_total,
+        }
+
+    print(
+        json.dumps(
+            {"routing_seconds": routing_seconds, "repair": repair},
+            indent=2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

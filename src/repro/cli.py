@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro table1 [--epsilon 0.5] [--pairs 300] [--jobs 4]
                            [--json] [--cache-dir .repro-cache]
+    python -m repro resilience [--pairs 100] [--jobs 4] [--json]
     python -m repro report [--output EXPERIMENTS.md] [--jobs 4]
 
 Commands are generated from the experiment registry

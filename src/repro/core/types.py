@@ -9,9 +9,32 @@ header sizes against the bounds claimed by the paper.
 from __future__ import annotations
 
 import dataclasses
+import enum
 from typing import Dict, List, Optional
 
 NodeId = int
+
+
+class DeliveryStatus(enum.Enum):
+    """Typed outcome of forwarding one packet on a (possibly degraded)
+    topology.
+
+    A routing scheme on an intact network always terminates with
+    ``DELIVERED`` (anything else is a bug — see :class:`RouteFailure`);
+    on a degraded topology the resilience subsystem
+    (:mod:`repro.resilience`) forwards packets with *stale* tables, so
+    every packet must still terminate, but with one of these outcomes.
+    """
+
+    DELIVERED = "delivered"
+    #: A fallback policy gave up (failed link with no usable detour,
+    #: crashed endpoint, exhausted escalation levels).
+    DROPPED = "dropped"
+    #: The hop budget ran out before arrival.
+    TTL_EXPIRED = "ttl-expired"
+    #: The same forwarding state recurred (visited-set check): stale
+    #: tables plus the fallback policy steered the packet in a cycle.
+    LOOP_DETECTED = "loop-detected"
 
 
 class ReproError(Exception):

@@ -17,7 +17,7 @@ from typing import List
 from typing import Optional
 
 from repro.experiments import ablation, congestion, fig1, fig2, fig3
-from repro.experiments import related_work, relaxed, scalefree
+from repro.experiments import related_work, relaxed, resilience, scalefree
 from repro.experiments import storage_audit, structures, sweeps
 from repro.experiments import table1, table2
 from repro.experiments.harness import ExperimentTable
@@ -269,6 +269,28 @@ def generate(
         "tree parent label, Claim-3.9 H-links, Lemma-3.5 search\n"
         "trees); the breakdown sums to `table_bits` bit-for-bit\n"
         "(asserted in tests/test_tables_and_audit.py).\n"
+    )
+
+    e16 = resilience.run(
+        epsilon=0.5, pair_count=pair_count // 3, context=context, jobs=jobs
+    )
+    e16r = resilience.run_repair(epsilon=0.5, context=context)
+    sections.append(
+        "## E16 — resilience under failures (beyond the paper)\n\n"
+        "10% of links fail after the tables are built; packets forward\n"
+        "with *stale* tables under three fallback policies, and stretch\n"
+        "is charged against the post-failure optimum:\n\n"
+        + _block(e16) + "\n" + _block(e16r) +
+        "\n**Reading:** fail-fast shows the schemes' raw fragility\n"
+        "(roughly half the connected pairs die at the first dead\n"
+        "link); a hop-bounded local detour restores delivery to every\n"
+        "connected pair at small extra stretch, and net-hierarchy\n"
+        "level-escalation lands in between — recovery via the paper's\n"
+        "own zooming structure.  Every packet terminates with a typed\n"
+        "outcome (no hangs), and rebuilding after recovery through the\n"
+        "warm BuildContext is orders of magnitude cheaper than a cold\n"
+        "build (artifact counts above; wall-clock in\n"
+        "BENCH_resilience.json).\n"
     )
     return "\n".join(sections)
 

@@ -35,6 +35,8 @@ def parallel_map(
     fn: Callable[[ItemT], ResultT],
     items: Sequence[ItemT],
     jobs: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
 ) -> List[ResultT]:
     """Apply ``fn`` to every item, preserving item order in the result.
 
@@ -42,12 +44,22 @@ def parallel_map(
     (``fn`` and the items must be picklable: use module-level worker
     functions, not closures).  Worker exceptions propagate to the
     caller exactly as in the serial path.
+
+    ``initializer(*initargs)`` runs once per worker process before any
+    item — the place to ship one large shared object (e.g. a routing
+    scheme) across the process boundary once instead of once per item.
+    The serial fallback calls it once in-process, so ``fn`` may rely on
+    the initializer unconditionally.
     """
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(items) < 2:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(item) for item in items]
     workers = min(jobs, len(items))
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as pool:
         return list(pool.map(fn, items))
 
 

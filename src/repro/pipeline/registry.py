@@ -127,6 +127,12 @@ _SPECS = [
         "bit-level audit of every table entry",
         "repro.experiments.storage_audit",
     ),
+    ExperimentSpec(
+        "resilience",
+        "delivery and stretch under link failures, plus recovery cost",
+        "repro.experiments.resilience",
+        funcs=("run", "run_repair"),
+    ),
 ]
 
 REGISTRY: Dict[str, ExperimentSpec] = {spec.name: spec for spec in _SPECS}

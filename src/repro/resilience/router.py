@@ -1,0 +1,487 @@
+"""Hop-by-hop routing with stale tables on a degraded topology.
+
+:class:`ResilientRouter` wraps any built :class:`RoutingScheme` and
+forwards packets one physical edge at a time.  The scheme's tables were
+computed on the intact graph and are **never** rebuilt here — each hop
+asks the *stale* next-hop state where it would have gone, then checks
+the :class:`DegradedNetwork` overlay whether that link still exists.
+When a packet hits a failed link or crashed node, a pluggable
+:class:`FallbackPolicy` decides what happens next:
+
+* ``fail-fast`` — drop immediately (the baseline: what a scheme with no
+  recovery story delivers);
+* ``local-detour`` — route around the dead link via surviving
+  neighbours under a hop budget (IP fast-reroute flavour);
+* ``level-escalation`` — climb the packet's zooming sequence to the
+  next ``2^i``-net level, replan from that net center with the stale
+  scheme, and continue — the resilience analogue of Algorithm 3's
+  level-by-level search.
+
+Every packet terminates with a typed
+:class:`~repro.core.types.DeliveryStatus`: termination is enforced by a
+visited-state set (loop detection) plus a TTL hop budget, so a stale
+table can never hang an experiment.  Stretch of a delivered packet is
+measured against the **post-failure** shortest path — the honest
+denominator: the intact-graph optimum may no longer be achievable by
+any router.
+"""
+
+from __future__ import annotations
+
+import abc
+import collections
+import dataclasses
+import math
+import statistics
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.core.types import DeliveryStatus, NodeId
+from repro.metric.graph_metric import GraphMetric
+from repro.nets.hierarchy import NetHierarchy
+from repro.resilience.degraded import DegradedNetwork
+from repro.runtime.simulator import expand_to_physical_path
+from repro.schemes.base import RoutingScheme
+
+
+@dataclasses.dataclass
+class ResilientRouteResult:
+    """Outcome of forwarding one packet on the degraded topology.
+
+    Attributes:
+        path: Physical nodes actually visited (always starts at
+            ``source``; ends at ``target`` iff delivered).
+        cost: Distance actually travelled, under perturbed weights.
+        post_failure_optimal: Shortest-path distance on the *surviving*
+            topology (``inf`` when the pair is disconnected) — the
+            denominator of :attr:`stretch`.
+        pre_failure_optimal: Shortest-path distance on the intact graph,
+            for inflation comparisons.
+        detours: Number of fallback-policy activations en route.
+        reason: Human-readable cause for non-delivered outcomes.
+    """
+
+    source: NodeId
+    target: NodeId
+    status: DeliveryStatus
+    path: List[NodeId]
+    cost: float
+    post_failure_optimal: float
+    pre_failure_optimal: float
+    detours: int = 0
+    reason: str = ""
+
+    @property
+    def delivered(self) -> bool:
+        return self.status is DeliveryStatus.DELIVERED
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+    @property
+    def stretch(self) -> Optional[float]:
+        """Cost over the post-failure optimum; ``None`` unless delivered."""
+        if not self.delivered:
+            return None
+        if self.source == self.target or self.post_failure_optimal <= 0.0:
+            return 1.0
+        return self.cost / self.post_failure_optimal
+
+
+@dataclasses.dataclass
+class ResilienceReport:
+    """Aggregate of many :class:`ResilientRouteResult` outcomes."""
+
+    results: List[ResilientRouteResult]
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def delivered(self) -> int:
+        return sum(1 for r in self.results if r.delivered)
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.total if self.results else 0.0
+
+    @property
+    def unreachable(self) -> int:
+        """Pairs disconnected by the failures (no router could deliver)."""
+        return sum(
+            1
+            for r in self.results
+            if not math.isfinite(r.post_failure_optimal)
+        )
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts = {status.value: 0 for status in DeliveryStatus}
+        for r in self.results:
+            counts[r.status.value] += 1
+        return counts
+
+    def mean_stretch(self) -> float:
+        """Mean stretch of delivered packets vs post-failure optimum."""
+        stretches = [r.stretch for r in self.results if r.delivered]
+        return statistics.fmean(stretches) if stretches else 0.0
+
+    def max_stretch(self) -> float:
+        stretches = [r.stretch for r in self.results if r.delivered]
+        return max(stretches) if stretches else 0.0
+
+    def mean_detours(self) -> float:
+        if not self.results:
+            return 0.0
+        return statistics.fmean(r.detours for r in self.results)
+
+
+@dataclasses.dataclass
+class _Walk:
+    """Mutable per-packet forwarding state."""
+
+    path: List[NodeId]
+    plan: Deque[NodeId]
+    #: Verified surviving hops a policy spliced in (walked literally).
+    pending: Deque[NodeId]
+    ttl: int
+    cost: float = 0.0
+    hops: int = 0
+    detours: int = 0
+    #: Current net-hierarchy escalation level (level-escalation only).
+    level: int = 0
+    seen: Set[Tuple[NodeId, NodeId, int, int]] = dataclasses.field(
+        default_factory=set
+    )
+
+
+class FallbackPolicy(abc.ABC):
+    """Decides what a blocked packet does.  Stateless across packets:
+    any per-packet state (escalation level) lives on the walk."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def recover(
+        self,
+        router: "ResilientRouter",
+        degraded: DegradedNetwork,
+        walk: _Walk,
+        current: NodeId,
+        stale_next: NodeId,
+        waypoint: NodeId,
+    ) -> Optional[str]:
+        """Attempt recovery at ``current`` whose stale next hop is dead.
+
+        Mutates ``walk`` (splices verified hops into ``walk.pending``
+        and/or replaces ``walk.plan``) and returns ``None`` on success,
+        or a drop reason string to terminate the packet as ``DROPPED``.
+        """
+
+
+class FailFast(FallbackPolicy):
+    """No recovery: the first dead link drops the packet."""
+
+    name = "fail-fast"
+
+    def recover(self, router, degraded, walk, current, stale_next, waypoint):
+        return (
+            f"stale next hop {current}->{stale_next} unavailable "
+            "(fail-fast)"
+        )
+
+
+class LocalDetour(FallbackPolicy):
+    """Route around the dead link via surviving neighbours.
+
+    Tries a cheapest surviving path from the blocked node to the stale
+    next hop (or, when that node crashed, to the current waypoint)
+    within ``hop_budget`` hops, then resumes the stale plan.
+    """
+
+    name = "local-detour"
+
+    def __init__(self, hop_budget: int = 8) -> None:
+        if hop_budget < 1:
+            raise ValueError("hop_budget must be >= 1")
+        self.hop_budget = hop_budget
+
+    def recover(self, router, degraded, walk, current, stale_next, waypoint):
+        aims = []
+        if degraded.node_alive(stale_next):
+            aims.append(stale_next)
+        if waypoint not in aims:
+            aims.append(waypoint)
+        for aim in aims:
+            detour = degraded.detour_path(
+                current, aim, max_hops=self.hop_budget
+            )
+            if detour is not None and len(detour) > 1:
+                walk.pending.extend(detour[1:])
+                return None
+        return (
+            f"no detour from {current} within {self.hop_budget} hops "
+            "(local-detour)"
+        )
+
+
+class LevelEscalation(FallbackPolicy):
+    """Climb the net hierarchy and replan from a coarser net center.
+
+    A blocked packet at ``u`` retries at the next hierarchy level: it
+    travels to its zooming-sequence center ``u(ℓ)`` (over surviving
+    links, cost-bounded by ``slack · 2^{ℓ+1}`` — the Eqn. 2 zoom budget
+    with a degradation allowance) and asks the stale scheme for a fresh
+    plan from there.  Levels only escalate within one packet, mirroring
+    Algorithm 3's monotone climb; exhausting the hierarchy drops the
+    packet.
+    """
+
+    name = "level-escalation"
+
+    def __init__(self, cost_slack: float = 2.0) -> None:
+        if cost_slack < 1.0:
+            raise ValueError("cost_slack must be >= 1.0")
+        self.cost_slack = cost_slack
+
+    def recover(self, router, degraded, walk, current, stale_next, waypoint):
+        hierarchy = router.hierarchy
+        for level in range(walk.level + 1, hierarchy.top_level + 1):
+            center = hierarchy.zoom(current, level)
+            if center == current or not degraded.node_alive(center):
+                continue
+            detour = degraded.detour_path(
+                current,
+                center,
+                max_cost=self.cost_slack * float(2 ** (level + 1)),
+            )
+            if detour is None:
+                continue
+            walk.level = level
+            walk.pending.clear()
+            walk.pending.extend(detour[1:])
+            walk.plan = collections.deque(
+                router.stale_plan(center, router.current_target)
+            )
+            return None
+        return (
+            f"no reachable net center above level {walk.level} "
+            "(level-escalation)"
+        )
+
+
+#: Registry of policy names for the CLI / experiments.
+POLICIES = ("fail-fast", "local-detour", "level-escalation")
+
+
+def make_policy(policy: Union[str, FallbackPolicy]) -> FallbackPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, FallbackPolicy):
+        return policy
+    if policy == "fail-fast":
+        return FailFast()
+    if policy == "local-detour":
+        return LocalDetour()
+    if policy == "level-escalation":
+        return LevelEscalation()
+    raise ValueError(
+        f"unknown fallback policy {policy!r} (known: {', '.join(POLICIES)})"
+    )
+
+
+class ResilientRouter:
+    """Forward packets with stale tables over a degraded topology.
+
+    Args:
+        scheme: Any built routing scheme; its tables are treated as
+            frozen pre-failure state.
+        degraded: The failure overlay to forward on.
+        policy: Fallback policy (name or instance).
+        ttl: Hop budget per packet; defaults to
+            ``4 · stale_path_hops + 2n + 32`` (generous but finite).
+        hierarchy: Net hierarchy for ``level-escalation``; resolved from
+            the scheme when it has one, else built on demand.
+    """
+
+    def __init__(
+        self,
+        scheme: RoutingScheme,
+        degraded: DegradedNetwork,
+        policy: Union[str, FallbackPolicy] = "fail-fast",
+        ttl: Optional[int] = None,
+        hierarchy: Optional[NetHierarchy] = None,
+    ) -> None:
+        if degraded.metric is not scheme.metric:
+            raise ValueError(
+                "degraded overlay must wrap the scheme's own metric"
+            )
+        self._scheme = scheme
+        self._metric: GraphMetric = scheme.metric
+        self._degraded = degraded
+        self._policy = make_policy(policy)
+        self._ttl = ttl
+        self._hierarchy = hierarchy
+        self._plan_cache: Dict[Tuple[NodeId, NodeId], List[NodeId]] = {}
+        #: Target of the packet currently being routed (policy hook).
+        self.current_target: Optional[NodeId] = None
+
+    @property
+    def scheme(self) -> RoutingScheme:
+        return self._scheme
+
+    @property
+    def degraded(self) -> DegradedNetwork:
+        return self._degraded
+
+    @property
+    def policy(self) -> FallbackPolicy:
+        return self._policy
+
+    @property
+    def hierarchy(self) -> NetHierarchy:
+        """The net hierarchy used for level escalation (lazy)."""
+        if self._hierarchy is None:
+            candidate = getattr(self._scheme, "hierarchy", None)
+            if not isinstance(candidate, NetHierarchy):
+                candidate = getattr(self._scheme, "_hierarchy", None)
+            if not isinstance(candidate, NetHierarchy):
+                candidate = NetHierarchy(self._metric)
+            self._hierarchy = candidate
+        return self._hierarchy
+
+    def stale_plan(self, source: NodeId, target: NodeId) -> List[NodeId]:
+        """The scheme's pre-failure waypoint sequence (memoized)."""
+        key = (source, target)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            if source == target:
+                plan = [source]
+            else:
+                plan = list(self._scheme.route(source, target).path)
+            self._plan_cache[key] = plan
+        return list(plan)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+
+    def route(self, source: NodeId, target: NodeId) -> ResilientRouteResult:
+        """Forward one packet; always terminates with a typed outcome."""
+        degraded = self._degraded
+        metric = self._metric
+        pre_opt = metric.distance(source, target)
+
+        def finish(
+            status: DeliveryStatus,
+            walk: Optional[_Walk],
+            reason: str = "",
+        ) -> ResilientRouteResult:
+            return ResilientRouteResult(
+                source=source,
+                target=target,
+                status=status,
+                path=walk.path if walk is not None else [source],
+                cost=walk.cost if walk is not None else 0.0,
+                post_failure_optimal=post_opt,
+                pre_failure_optimal=pre_opt,
+                detours=walk.detours if walk is not None else 0,
+                reason=reason,
+            )
+
+        if not degraded.node_alive(source):
+            post_opt = math.inf
+            return finish(
+                DeliveryStatus.DROPPED, None, f"source {source} crashed"
+            )
+        if not degraded.node_alive(target):
+            post_opt = math.inf
+            return finish(
+                DeliveryStatus.DROPPED, None, f"target {target} crashed"
+            )
+        post_opt = degraded.distance(source, target)
+        if source == target:
+            return finish(DeliveryStatus.DELIVERED, None)
+
+        stale = self.stale_plan(source, target)
+        stale_hops = max(
+            1, len(expand_to_physical_path(metric, stale)) - 1
+        )
+        ttl = (
+            self._ttl
+            if self._ttl is not None
+            else 4 * stale_hops + 2 * metric.n + 32
+        )
+        walk = _Walk(
+            path=[source],
+            plan=collections.deque(stale),
+            pending=collections.deque(),
+            ttl=ttl,
+        )
+        self.current_target = target
+        try:
+            return self._forward(walk, target, finish)
+        finally:
+            self.current_target = None
+
+    def _step(self, walk: _Walk, nxt: NodeId) -> None:
+        walk.cost += self._degraded.edge_weight(walk.path[-1], nxt)
+        walk.path.append(nxt)
+        walk.hops += 1
+
+    def _forward(self, walk: _Walk, target: NodeId, finish):
+        degraded = self._degraded
+        metric = self._metric
+        while True:
+            current = walk.path[-1]
+            if current == target:
+                return finish(DeliveryStatus.DELIVERED, walk)
+            if walk.hops >= walk.ttl:
+                return finish(
+                    DeliveryStatus.TTL_EXPIRED,
+                    walk,
+                    f"hop budget {walk.ttl} exhausted",
+                )
+            # Spliced detour hops were verified alive when planned;
+            # walk them literally (re-checking, defensively).
+            if walk.pending:
+                nxt = walk.pending.popleft()
+                if degraded.edge_alive(current, nxt):
+                    self._step(walk, nxt)
+                    continue
+                walk.pending.clear()  # overlay changed under us: replan
+            # Normalize the plan: drop reached or crashed waypoints
+            # (the final waypoint is the target, known to be alive).
+            plan = walk.plan
+            while plan and (
+                plan[0] == current or not degraded.node_alive(plan[0])
+            ):
+                plan.popleft()
+            if not plan:
+                plan.append(target)
+            waypoint = plan[0]
+            state = (current, waypoint, len(plan), walk.level)
+            if state in walk.seen:
+                return finish(
+                    DeliveryStatus.LOOP_DETECTED,
+                    walk,
+                    f"forwarding state repeated at node {current}",
+                )
+            walk.seen.add(state)
+            stale_next = metric.next_hop(current, waypoint)
+            if degraded.edge_alive(current, stale_next):
+                self._step(walk, stale_next)
+                continue
+            reason = self._policy.recover(
+                self, degraded, walk, current, stale_next, waypoint
+            )
+            if reason is not None:
+                return finish(DeliveryStatus.DROPPED, walk, reason)
+            walk.detours += 1
+
+    def evaluate(
+        self, pairs: Iterable[Tuple[NodeId, NodeId]]
+    ) -> ResilienceReport:
+        """Route every pair and aggregate the outcomes."""
+        return ResilienceReport(
+            results=[self.route(u, v) for u, v in pairs]
+        )

@@ -7,7 +7,11 @@ module provides a store-and-forward, discrete-event simulator:
 * a packet injected at time ``t`` follows the exact hop sequence its
   routing scheme produces (``RouteResult.path`` — including detours into
   search trees, realized as shortest-path travel);
-* every directed link serializes packets: one transmission per
+* virtual hops between non-adjacent nodes (search-tree detours,
+  "realized as shortest-path travel") are expanded into the metric's
+  actual shortest path, so serialization and per-link load are charged
+  to the *physical* graph edges the packet really occupies;
+* every directed physical link serializes packets: one transmission per
   ``service_time`` time units, FIFO, plus a propagation delay equal to
   the link's metric length;
 * the simulator reports per-packet latency, pure propagation time, and
@@ -21,11 +25,35 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import random
 import statistics
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.types import NodeId
+from repro.metric.graph_metric import GraphMetric
+from repro.pipeline.sampling import draw_pair
 from repro.schemes.base import RoutingScheme
+
+
+def expand_to_physical_path(
+    metric: GraphMetric, path: List[NodeId]
+) -> List[NodeId]:
+    """Expand a scheme's hop sequence into physical graph edges.
+
+    Scheme paths may jump between non-adjacent nodes (a virtual hop
+    whose cost is the shortest-path distance); each such hop is realized
+    as the metric's canonical shortest path, so every consecutive pair
+    in the result is an edge of the underlying graph and the total
+    length is unchanged.
+    """
+    if len(path) <= 1:
+        return list(path)
+    physical = [path[0]]
+    for a, b in zip(path, path[1:]):
+        if a == b:
+            continue
+        physical.extend(metric.shortest_path(a, b)[1:])
+    return physical
 
 
 @dataclasses.dataclass
@@ -39,22 +67,44 @@ class Demand:
 
 @dataclasses.dataclass
 class DeliveredPacket:
-    """Outcome of one simulated packet."""
+    """Outcome of one simulated packet.
+
+    ``path`` is the scheme's hop sequence (may contain virtual hops);
+    ``physical_path`` is its expansion into actual graph edges — the
+    links the packet occupied.  They coincide for schemes that only
+    ever name neighbours (e.g. the shortest-path baseline).
+    """
 
     demand: Demand
     path: List[NodeId]
     delivered_at: float
     propagation: float
     queueing: float
+    physical_path: Optional[List[NodeId]] = None
 
     @property
     def latency(self) -> float:
         return self.delivered_at - self.demand.inject_at
 
+    @property
+    def physical_nodes(self) -> List[NodeId]:
+        """The physical hop sequence (falls back to ``path``)."""
+        return self.physical_path if self.physical_path is not None else self.path
+
+    @property
+    def links(self) -> List[Tuple[NodeId, NodeId]]:
+        """Directed physical links the packet occupied, in order."""
+        nodes = self.physical_nodes
+        return list(zip(nodes, nodes[1:]))
+
 
 @dataclasses.dataclass
 class SimulationReport:
-    """Aggregate results of one simulation run."""
+    """Aggregate results of one simulation run.
+
+    All statistics are well-defined on an empty run (zero packets):
+    means and maxima report 0.0 rather than raising.
+    """
 
     packets: List[DeliveredPacket]
 
@@ -63,12 +113,18 @@ class SimulationReport:
         return len(self.packets)
 
     def mean_latency(self) -> float:
+        if not self.packets:
+            return 0.0
         return statistics.fmean(p.latency for p in self.packets)
 
     def max_latency(self) -> float:
+        if not self.packets:
+            return 0.0
         return max(p.latency for p in self.packets)
 
     def mean_queueing(self) -> float:
+        if not self.packets:
+            return 0.0
         return statistics.fmean(p.queueing for p in self.packets)
 
     def total_traffic(self) -> float:
@@ -76,9 +132,14 @@ class SimulationReport:
         return sum(p.propagation for p in self.packets)
 
     def busiest_links(self, top: int = 5) -> List[Tuple[Tuple[NodeId, NodeId], int]]:
+        """Most-occupied directed *physical* links.
+
+        Virtual hops are expanded to the underlying graph edges before
+        counting, so shared physical edges are not under-counted.
+        """
         counts: Dict[Tuple[NodeId, NodeId], int] = {}
         for packet in self.packets:
-            for a, b in zip(packet.path, packet.path[1:]):
+            for a, b in packet.links:
                 counts[(a, b)] = counts.get((a, b), 0) + 1
         ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
         return ranked[:top]
@@ -106,19 +167,30 @@ class TrafficSimulator:
     def run(self, demands: Iterable[Demand]) -> SimulationReport:
         """Simulate all demands to completion."""
         metric = self._metric
-        # Precompute each packet's hop sequence from the scheme.
-        packets: List[Tuple[Demand, List[NodeId]]] = []
+        # Precompute each packet's hop sequence from the scheme, and its
+        # expansion into the physical edges it will actually occupy.
+        packets: List[Tuple[Demand, List[NodeId], List[NodeId]]] = []
         for demand in demands:
             if demand.source == demand.target:
-                packets.append((demand, [demand.source]))
+                packets.append(
+                    (demand, [demand.source], [demand.source])
+                )
                 continue
             result = self._scheme.route(demand.source, demand.target)
-            packets.append((demand, result.path))
+            packets.append(
+                (
+                    demand,
+                    result.path,
+                    expand_to_physical_path(metric, result.path),
+                )
+            )
 
-        # Event queue: (time, seq, packet_index, hop_index).
+        # Event queue: (time, seq, packet_index, hop_index), with hops
+        # indexing the *physical* path — packets queue on, and occupy,
+        # the real graph edges underneath any virtual detour.
         events: List[Tuple[float, int, int, int]] = []
         seq = 0
-        for index, (demand, _) in enumerate(packets):
+        for index, (demand, _, _) in enumerate(packets):
             heapq.heappush(
                 events, (demand.inject_at, seq, index, 0)
             )
@@ -130,11 +202,11 @@ class TrafficSimulator:
 
         while events:
             now, _, index, hop = heapq.heappop(events)
-            demand, path = packets[index]
-            if hop == len(path) - 1:
+            demand, _, physical = packets[index]
+            if hop == len(physical) - 1:
                 delivered[index] = now
                 continue
-            a, b = path[hop], path[hop + 1]
+            a, b = physical[hop], physical[hop + 1]
             free_at = link_free_at.get((a, b), now)
             start = max(now, free_at)
             queueing[index] += start - now
@@ -144,9 +216,10 @@ class TrafficSimulator:
             seq += 1
 
         report_packets = []
-        for index, (demand, path) in enumerate(packets):
+        for index, (demand, path, physical) in enumerate(packets):
             propagation = sum(
-                metric.distance(a, b) for a, b in zip(path, path[1:])
+                metric.distance(a, b)
+                for a, b in zip(physical, physical[1:])
             )
             assert delivered[index] is not None
             report_packets.append(
@@ -156,6 +229,7 @@ class TrafficSimulator:
                     delivered_at=float(delivered[index]),
                     propagation=propagation,
                     queueing=queueing[index],
+                    physical_path=physical,
                 )
             )
         return SimulationReport(packets=report_packets)
@@ -172,10 +246,6 @@ def uniform_demands(
     :mod:`repro.pipeline.sampling` (with replacement across demands —
     the same flow may recur, unlike a stretch-measurement sample).
     """
-    import random
-
-    from repro.pipeline.sampling import draw_pair
-
     if n < 2:
         raise ValueError("need at least two nodes")
     if rate <= 0:

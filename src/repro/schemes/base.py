@@ -30,15 +30,30 @@ from repro.core.types import NodeId, PreprocessingError, RouteResult
 from repro.metric.graph_metric import GraphMetric
 
 
-def _evaluate_pairs_chunk(payload):
+#: The scheme under evaluation in this worker process, installed once by
+#: :func:`_init_evaluation_worker` (via the pool initializer) instead of
+#: being pickled into every chunk payload.
+_EVALUATION_SCHEME: Optional["RoutingScheme"] = None
+
+
+def _init_evaluation_worker(scheme: "RoutingScheme") -> None:
+    """Pool initializer: receive the scheme once per worker process."""
+    global _EVALUATION_SCHEME
+    _EVALUATION_SCHEME = scheme
+
+
+def _evaluate_pairs_chunk(chunk):
     """Process-pool worker: route one contiguous chunk of pairs.
 
     Returns ``(stretches, worst)`` where ``worst`` is the chunk's first
     strictly-largest-stretch :class:`RouteResult` — the same tie rule the
     serial loop applies, so merging chunks in order reproduces the serial
-    result exactly.  Module-level so it pickles.
+    result exactly.  Module-level so it pickles; the scheme itself
+    crosses the process boundary once per worker (initializer), not once
+    per chunk.
     """
-    scheme, chunk = payload
+    scheme = _EVALUATION_SCHEME
+    assert scheme is not None, "worker initializer did not run"
     stretches: List[float] = []
     worst: Optional[RouteResult] = None
     for u, v in chunk:
@@ -170,8 +185,10 @@ class RoutingScheme(abc.ABC):
             chunks = chunk_evenly(pairs, resolve_jobs(jobs))
             outcomes = parallel_map(
                 _evaluate_pairs_chunk,
-                [(self, chunk) for chunk in chunks],
+                chunks,
                 jobs=jobs,
+                initializer=_init_evaluation_worker,
+                initargs=(self,),
             )
             stretches = []
             worst = None

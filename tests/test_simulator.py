@@ -7,6 +7,7 @@ from repro.metric.graph_metric import GraphMetric
 from repro.runtime.simulator import (
     Demand,
     TrafficSimulator,
+    expand_to_physical_path,
     uniform_demands,
 )
 from repro.schemes.shortest_path import ShortestPathScheme
@@ -108,6 +109,40 @@ class TestReports:
         )
         assert report.mean_latency() == pytest.approx(3.0)
         assert report.max_latency() == pytest.approx(5.0)
+
+    def test_empty_run_reports_zero_statistics(self, path_scheme):
+        report = TrafficSimulator(path_scheme).run([])
+        assert report.delivered == 0
+        assert report.mean_latency() == 0.0
+        assert report.max_latency() == 0.0
+        assert report.mean_queueing() == 0.0
+        assert report.total_traffic() == 0.0
+        assert report.busiest_links() == []
+
+
+class TestPhysicalExpansion:
+    def test_expand_virtual_hops(self, path_scheme):
+        metric = path_scheme.metric
+        assert expand_to_physical_path(metric, [0, 3, 5]) == [
+            0, 1, 2, 3, 4, 5,
+        ]
+        assert expand_to_physical_path(metric, [2]) == [2]
+
+    def test_load_counted_on_physical_links(self, grid_metric, params):
+        # Compact-scheme routes contain virtual hops; link occupancy
+        # must be charged to the physical edges realizing them.
+        scheme = SimpleNameIndependentScheme(grid_metric, params)
+        demands = uniform_demands(grid_metric.n, 40, rate=2.0, seed=3)
+        report = TrafficSimulator(scheme, service_time=0.5).run(demands)
+        links = report.busiest_links(top=10**9)
+        assert links
+        for (a, b), occupancy in links:
+            assert grid_metric.graph.has_edge(a, b)
+            assert occupancy >= 1
+        # Every delivered packet's physical path is edge-by-edge real.
+        for packet in report.packets:
+            for a, b in packet.links:
+                assert grid_metric.graph.has_edge(a, b)
 
 
 class TestWithCompactScheme:

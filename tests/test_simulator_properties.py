@@ -51,10 +51,20 @@ class TestConservation:
 
     @given(demands=demand_lists())
     @settings(max_examples=30, deadline=None)
-    def test_queueing_monotone_in_service_time(self, demands):
-        fast = TrafficSimulator(_SCHEME, service_time=0.1).run(demands)
-        slow = TrafficSimulator(_SCHEME, service_time=2.0).run(demands)
-        assert slow.mean_queueing() >= fast.mean_queueing() - 1e-9
+    def test_latency_decomposes_exactly(self, demands):
+        # Conservation law: latency = propagation + per-hop service +
+        # queueing, exactly.  (Mean queueing is NOT monotone in service
+        # time: slower links can de-synchronize packets that would
+        # otherwise collide, so no such property is asserted.)
+        service = 0.7
+        report = TrafficSimulator(_SCHEME, service_time=service).run(
+            demands
+        )
+        for packet in report.packets:
+            hops = len(packet.links)
+            assert packet.latency == pytest.approx(
+                packet.propagation + hops * service + packet.queueing
+            )
 
     @given(demands=demand_lists())
     @settings(max_examples=30, deadline=None)
