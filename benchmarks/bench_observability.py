@@ -1,0 +1,133 @@
+"""Measure the cost of route tracing — and guard that "off" stays free.
+
+Reproduces the numbers recorded in ``BENCH_observability.json``:
+
+* ``route_microseconds`` — mean per-route wall time for the two
+  decision-heaviest schemes on the 8x8 grid, with tracing disabled
+  (plain ``route()``, the default every experiment uses) and enabled
+  (``trace_route()``); the ratio is the price of a recorded trace.
+* ``report_generate_pairs300_seconds`` — wall clock of the full
+  EXPERIMENTS.md regeneration with tracing disabled, the end-to-end
+  guard that instrumenting every scheme did not slow the pipeline
+  (the ``before`` value in the JSON was measured at the parent commit
+  with the same snippet).
+
+Run with ``PYTHONPATH=src python benchmarks/bench_observability.py``.
+
+``--check`` runs the fast CI guard only: every traced route must replay
+to the exact returned path/cost, and untraced routing must not be
+slower than traced routing (best-of-5 timings; the no-op tracer is one
+attribute read per decision, so "off" being measurably slower than "on"
+means the gating broke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.graphs.generators import grid_2d
+from repro.observability.trace import replay
+from repro.pipeline.context import BuildContext
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+
+#: Slack factor for the --check timing guard: untraced must be at most
+#: this multiple of traced.  Recording allocates an event per decision,
+#: so equality is already suspicious; 1.10 absorbs shared-CI jitter.
+CHECK_SLACK = 1.10
+
+BENCH_SCHEMES = (
+    ("nameind-simple", SimpleNameIndependentScheme),
+    ("nameind-sf", ScaleFreeNameIndependentScheme),
+)
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_scheme(scheme, pairs, repeats: int = 5):
+    """Best-of wall time over ``pairs`` for untraced vs traced routing."""
+
+    def untraced():
+        for u, v in pairs:
+            scheme.route(u, v)
+
+    def traced():
+        for u, v in pairs:
+            result, trace = scheme.trace_route(u, v)
+            assert replay(trace).matches(result.path, result.cost)
+
+    return _best_of(untraced, repeats), _best_of(traced, repeats)
+
+
+def run_check() -> int:
+    context = BuildContext()
+    metric = context.metric(grid_2d(8))
+    pairs = context.pairs(metric, 150, seed=3)
+    failures = 0
+    for slug, scheme_cls in BENCH_SCHEMES:
+        scheme = context.scheme(scheme_cls, metric)
+        untraced, traced = measure_scheme(scheme, pairs)
+        verdict = "ok" if untraced <= traced * CHECK_SLACK else "FAIL"
+        print(
+            f"{slug}: untraced {untraced * 1e3:.1f}ms, "
+            f"traced {traced * 1e3:.1f}ms "
+            f"(x{traced / untraced:.2f}) ... {verdict}"
+        )
+        if verdict == "FAIL":
+            failures += 1
+    if failures:
+        print(
+            "disabled tracing is slower than enabled tracing — the "
+            "`if tracer.enabled` gating has regressed",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fast CI guard only (replay correctness + overhead order)",
+    )
+    args = parser.parse_args()
+    if args.check:
+        return run_check()
+
+    context = BuildContext()
+    metric = context.metric(grid_2d(8))
+    pairs = context.pairs(metric, 300, seed=3)
+    results = {"route_microseconds": {}}
+    for slug, scheme_cls in BENCH_SCHEMES:
+        scheme = context.scheme(scheme_cls, metric)
+        untraced, traced = measure_scheme(scheme, pairs)
+        results["route_microseconds"][slug] = {
+            "untraced": round(untraced / len(pairs) * 1e6, 1),
+            "traced": round(traced / len(pairs) * 1e6, 1),
+            "ratio": round(traced / untraced, 2),
+        }
+
+    from repro.experiments import report
+
+    start = time.perf_counter()
+    report.generate(pair_count=300)
+    results["report_generate_pairs300_seconds"] = round(
+        time.perf_counter() - start, 2
+    )
+    print(json.dumps(results, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

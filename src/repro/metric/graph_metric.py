@@ -116,6 +116,16 @@ class GraphMetric:
         return self._graph
 
     @property
+    def scale(self) -> float:
+        """Weight divisor applied by normalization (1.0 when disabled).
+
+        Part of the pipeline cache identity: two metrics over the same
+        graph are interchangeable iff their scales agree (with
+        ``normalize=False`` the scale is pinned to 1.0).
+        """
+        return self._scale
+
+    @property
     def n(self) -> int:
         """Number of nodes."""
         return self._n

@@ -1,0 +1,91 @@
+"""Named fixtures for the ``repro trace`` CLI command.
+
+The tracing machinery (:mod:`repro.observability.trace`) works on any
+built scheme; the CLI needs *names* for graphs and schemes so a user can
+ask for a single route without writing Python.  This module is the
+name→object catalog:
+
+* :data:`GRAPHS` — the standard experiment suite under slug names
+  (``grid-8x8`` is the same graph ``standard_suite("small")`` calls
+  "grid 8x8", etc.), at both scales;
+* :data:`SCHEMES` — slugs for the six routing schemes, from the
+  shortest-path baseline to Theorem 1.1.
+
+Kept out of ``repro.observability.__init__`` on purpose: the base
+tracing types are imported by ``repro.schemes.base``, and this catalog
+imports the schemes — importing it from the package root would create a
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import networkx as nx
+
+from repro.graphs.generators import (
+    exponential_path,
+    grid_2d,
+    grid_with_holes,
+    random_geometric,
+)
+from repro.schemes.cowen_landmark import CowenLandmarkScheme
+from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+from repro.schemes.shortest_path import ShortestPathScheme
+
+#: Graph slug -> zero-argument builder.  Mirrors
+#: ``repro.experiments.harness.standard_suite`` (both scales), with the
+#: display names slugified for the shell.
+GRAPHS: Dict[str, Callable[[], nx.Graph]] = {
+    "grid-8x8": lambda: grid_2d(8),
+    "holes-9x9": lambda: grid_with_holes(9, hole_fraction=0.25, seed=7),
+    "geometric-64": lambda: random_geometric(64, seed=11),
+    "exp-path-16": lambda: exponential_path(16),
+    "grid-16x16": lambda: grid_2d(16),
+    "holes-18x18": lambda: grid_with_holes(18, hole_fraction=0.25, seed=7),
+    "geometric-256": lambda: random_geometric(256, seed=11),
+    "exp-path-32": lambda: exponential_path(32),
+}
+
+#: Scheme slug -> scheme class (all constructible via
+#: ``BuildContext.scheme(cls, metric, params)``).
+SCHEMES: Dict[str, type] = {
+    "shortest-path": ShortestPathScheme,
+    "cowen": CowenLandmarkScheme,
+    "labeled-nonsf": NonScaleFreeLabeledScheme,
+    "labeled-sf": ScaleFreeLabeledScheme,
+    "nameind-simple": SimpleNameIndependentScheme,
+    "nameind-sf": ScaleFreeNameIndependentScheme,
+}
+
+
+def graph_names() -> List[str]:
+    return sorted(GRAPHS)
+
+
+def scheme_names() -> List[str]:
+    return list(SCHEMES)
+
+
+def resolve_graph(name: str) -> nx.Graph:
+    """Build the named fixture graph, or raise with the known names."""
+    try:
+        builder = GRAPHS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph {name!r} (known: {', '.join(graph_names())})"
+        ) from None
+    return builder()
+
+
+def resolve_scheme(name: str) -> type:
+    """Look up the named scheme class, or raise with the known names."""
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r} (known: {', '.join(scheme_names())})"
+        ) from None

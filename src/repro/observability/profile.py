@@ -1,0 +1,117 @@
+"""Wall-time accounting for the shared-substrate build pipeline.
+
+:class:`~repro.pipeline.context.BuildContext` already counts cache hits,
+misses, and disk hits per artifact kind (:class:`BuildStats`); this
+module adds the missing dimension — *where the time goes* — so a slow
+report run can be attributed to APSP matrices vs hierarchy construction
+vs scheme preprocessing without guesswork:
+
+* every artifact construction is timed (``builder()`` inside
+  ``_get_or_build`` plus the un-memoized scheme path);
+* disk-cache loads and stores are timed separately, so the benefit of a
+  warm ``.repro-cache/`` is directly visible;
+* :meth:`BuildProfile.report` merges the timings with the hit/miss
+  counters into one JSON-ready dict, exposed on the CLI as
+  ``--profile`` and in the report's provenance appendix.
+
+The profile is purely additive bookkeeping: two ``perf_counter`` reads
+around work that takes milliseconds to seconds, so it is always on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Dict
+
+
+@dataclasses.dataclass
+class BuildProfile:
+    """Seconds spent per artifact kind, split by pipeline stage.
+
+    Attributes:
+        build_seconds: Time inside artifact constructors, per kind.
+        disk_load_seconds: Time unpickling disk-cache entries, per kind.
+        disk_store_seconds: Time pickling artifacts to disk, per kind.
+    """
+
+    build_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+    disk_load_seconds: Dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
+    disk_store_seconds: Dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def add(self, stage: str, kind: str, seconds: float) -> None:
+        """Charge ``seconds`` of ``stage`` work to artifact ``kind``.
+
+        ``stage`` is one of ``build``, ``disk_load``, ``disk_store``.
+        """
+        bucket = getattr(self, f"{stage}_seconds")
+        bucket[kind] = bucket.get(kind, 0.0) + seconds
+
+    def timed(self, stage: str, kind: str) -> "_Timer":
+        """Context manager charging its duration to ``(stage, kind)``."""
+        return _Timer(self, stage, kind)
+
+    def total_build_seconds(self) -> float:
+        return sum(self.build_seconds.values())
+
+    def report(self, stats=None) -> Dict[str, object]:
+        """JSON-ready merge of timings and (optionally) hit counters.
+
+        Args:
+            stats: A :class:`~repro.pipeline.context.BuildStats`; when
+                given, each kind's row carries its hit/miss/disk-hit
+                counts next to the seconds spent building it.
+        """
+        kinds = set(self.build_seconds)
+        kinds |= set(self.disk_load_seconds) | set(self.disk_store_seconds)
+        if stats is not None:
+            kinds |= set(stats.hits) | set(stats.misses)
+            kinds |= set(stats.disk_hits)
+        rows: Dict[str, Dict[str, object]] = {}
+        for kind in sorted(kinds):
+            row: Dict[str, object] = {
+                "build_seconds": round(self.build_seconds.get(kind, 0.0), 6),
+            }
+            loaded = self.disk_load_seconds.get(kind)
+            stored = self.disk_store_seconds.get(kind)
+            if loaded is not None:
+                row["disk_load_seconds"] = round(loaded, 6)
+            if stored is not None:
+                row["disk_store_seconds"] = round(stored, 6)
+            if stats is not None:
+                row["hits"] = stats.hits.get(kind, 0)
+                row["misses"] = stats.misses.get(kind, 0)
+                row["disk_hits"] = stats.disk_hits.get(kind, 0)
+            rows[kind] = row
+        return {
+            "total_build_seconds": round(self.total_build_seconds(), 6),
+            "kinds": rows,
+        }
+
+    def to_json(self, stats=None, indent: int = 2) -> str:
+        return json.dumps(self.report(stats), indent=indent)
+
+
+class _Timer:
+    """``with profile.timed("build", "metric"): ...`` helper."""
+
+    __slots__ = ("_profile", "_stage", "_kind", "_start")
+
+    def __init__(self, profile: BuildProfile, stage: str, kind: str) -> None:
+        self._profile = profile
+        self._stage = stage
+        self._kind = kind
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profile.add(
+            self._stage, self._kind, time.perf_counter() - self._start
+        )

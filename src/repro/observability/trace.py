@@ -1,0 +1,261 @@
+"""Per-hop route-decision traces: record, replay, export.
+
+A routing scheme in this library simulates the paper's *distributed*
+algorithm centrally, so every forwarding decision — "at node ``u``, ring
+``X_i(u)`` entry ``x`` fired, take one hop toward it" — happens at a
+known program point.  This module captures those decisions:
+
+* :class:`TraceEvent` — one decision: the node that made it, the
+  algorithm phase (``walk``, ``zoom``, ``search``, ``to_center``,
+  ``final``, ``fallback``, ...), the table entry that fired, the nodes
+  the packet visited as a consequence, the cost of that leg, and the
+  header fields before/after the decision (when the scheme's codec
+  defines them).
+* :class:`RouteTrace` — the ordered event list for one packet, plus
+  identifying metadata.  :func:`replay` folds the events back into a
+  ``(path, cost)`` pair; tests assert it reproduces the scheme's
+  :class:`~repro.core.types.RouteResult` bit-for-bit, which makes a
+  trace a proof that the route was assembled only from per-node table
+  lookups.
+* :class:`Tracer` / :data:`NULL_TRACER` / :class:`RecordingTracer` —
+  the emission interface.  Schemes keep a tracer attribute that is the
+  shared no-op singleton by default; every emission site is gated by
+  ``if tracer.enabled``, so routing with tracing off costs one
+  attribute read per decision and allocates nothing.
+
+Use :meth:`RoutingScheme.trace_route` (see :mod:`repro.schemes.base`)
+to obtain a populated trace; it installs a :class:`RecordingTracer` for
+the duration of one ``route()`` call and restores the previous tracer
+afterwards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import NodeId
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One forwarding decision and its consequence.
+
+    Attributes:
+        node: The node whose table was consulted.
+        phase: Algorithm phase that made the decision (``walk``,
+            ``zoom``, ``search``, ``to_center``, ``final``, ``direct``,
+            ``to_landmark``, ``from_landmark``, ``forward``,
+            ``fallback``).
+        nodes: Nodes appended to the packet's path by this decision, in
+            visit order (empty for decisions that move nothing, e.g. a
+            zero-hop search in a singleton tree or a fallback
+            escalation).
+        cost: Distance travelled by this leg (virtual hops charged at
+            shortest-path distance, exactly as the scheme charges them).
+        level: Net/search/packing level the decision was made at, when
+            the phase has one.
+        entry: Human-readable description of the table entry that fired
+            (ring member and range, search-tree hit/miss, H-link,
+            cluster vs landmark table, fallback policy).
+        header_before: Header fields visible before the decision, when
+            the scheme models them (field name -> value).
+        header_after: Header fields after the decision.
+    """
+
+    node: NodeId
+    phase: str
+    nodes: Tuple[NodeId, ...] = ()
+    cost: float = 0.0
+    level: Optional[int] = None
+    entry: Optional[str] = None
+    header_before: Optional[Dict[str, int]] = None
+    header_after: Optional[Dict[str, int]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form; ``None`` fields are omitted."""
+        out: Dict[str, object] = {
+            "node": self.node,
+            "phase": self.phase,
+            "nodes": list(self.nodes),
+            "cost": self.cost,
+        }
+        if self.level is not None:
+            out["level"] = self.level
+        if self.entry is not None:
+            out["entry"] = self.entry
+        if self.header_before is not None:
+            out["header_before"] = dict(self.header_before)
+        if self.header_after is not None:
+            out["header_after"] = dict(self.header_after)
+        return out
+
+
+@dataclasses.dataclass
+class RouteTrace:
+    """The decision record of one simulated packet."""
+
+    scheme: str
+    source: NodeId
+    #: Destination as the scheme saw it: a node id for ``route()``, a
+    #: name for ``route_to_name()``, a label for ``route_to_label()``.
+    destination: object
+    events: List[TraceEvent] = dataclasses.field(default_factory=list)
+    #: Worst-case header size of the scheme, bits (set on finish).
+    header_bits: int = 0
+    #: Node the packet actually stopped at (set on finish).
+    delivered_to: Optional[NodeId] = None
+
+    @property
+    def path(self) -> List[NodeId]:
+        """The packet's full path, folded from the events."""
+        out = [self.source]
+        for event in self.events:
+            out.extend(event.nodes)
+        return out
+
+    @property
+    def cost(self) -> float:
+        """Total distance travelled, folded from the events."""
+        return sum(event.cost for event in self.events)
+
+    def phases(self) -> Dict[str, int]:
+        """Event count per phase (provenance summaries)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.phase] = counts.get(event.phase, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "source": self.source,
+            "destination": self.destination,
+            "delivered_to": self.delivered_to,
+            "header_bits": self.header_bits,
+            "cost": self.cost,
+            "path": self.path,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+@dataclasses.dataclass(frozen=True)
+class Replay:
+    """Result of folding a trace: the reconstructed path and cost."""
+
+    path: List[NodeId]
+    cost: float
+
+    def matches(
+        self, path: Sequence[NodeId], cost: float, slack: float = 1e-9
+    ) -> bool:
+        """Whether this replay reproduces ``(path, cost)`` exactly.
+
+        ``cost`` comparison allows ``slack`` only for float summation
+        order; the path must match bit-for-bit.
+        """
+        return list(path) == self.path and abs(cost - self.cost) <= slack * max(
+            1.0, abs(cost)
+        )
+
+
+def replay(trace: RouteTrace) -> Replay:
+    """Fold a trace back into the packet's path and travelled cost.
+
+    The replay consults nothing but the trace: if it matches the
+    scheme's ``RouteResult``, every hop of that result is accounted for
+    by a recorded per-node table decision.
+    """
+    return Replay(path=trace.path, cost=trace.cost)
+
+
+class Tracer:
+    """No-op emission interface (the zero-overhead default).
+
+    Schemes call :meth:`event` at every decision point, gated by
+    :attr:`enabled`; this base class ignores everything, so a scheme
+    holding the shared :data:`NULL_TRACER` pays one attribute read per
+    decision and nothing else.
+    """
+
+    __slots__ = ()
+
+    enabled: bool = False
+
+    def event(
+        self,
+        node: NodeId,
+        phase: str,
+        nodes: Sequence[NodeId] = (),
+        cost: float = 0.0,
+        level: Optional[int] = None,
+        entry: Optional[str] = None,
+        header_before: Optional[Dict[str, int]] = None,
+        header_after: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Record one decision (ignored here)."""
+
+
+#: The shared do-nothing tracer every scheme starts with.
+NULL_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """Tracer that appends every decision to a :class:`RouteTrace`."""
+
+    __slots__ = ("trace",)
+
+    enabled = True
+
+    def __init__(self, trace: RouteTrace) -> None:
+        self.trace = trace
+
+    def event(
+        self,
+        node: NodeId,
+        phase: str,
+        nodes: Sequence[NodeId] = (),
+        cost: float = 0.0,
+        level: Optional[int] = None,
+        entry: Optional[str] = None,
+        header_before: Optional[Dict[str, int]] = None,
+        header_after: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.trace.events.append(
+            TraceEvent(
+                node=node,
+                phase=phase,
+                nodes=tuple(nodes),
+                cost=cost,
+                level=level,
+                entry=entry,
+                header_before=header_before,
+                header_after=header_after,
+            )
+        )
+
+
+def format_trace(trace: RouteTrace) -> str:
+    """Human-readable one-line-per-event rendering for the CLI."""
+    lines = [
+        f"{trace.scheme}: {trace.source} -> {trace.destination} "
+        f"(delivered to {trace.delivered_to}, cost {trace.cost:.3f}, "
+        f"{len(trace.events)} decisions, header {trace.header_bits} bits)"
+    ]
+    for k, event in enumerate(trace.events):
+        level = f" level={event.level}" if event.level is not None else ""
+        entry = f" [{event.entry}]" if event.entry else ""
+        hops = (
+            " -> " + ",".join(str(v) for v in event.nodes)
+            if event.nodes
+            else ""
+        )
+        lines.append(
+            f"  {k:3d} @{event.node:<4d} {event.phase:<13s}"
+            f" cost={event.cost:<8.3f}{level}{entry}{hops}"
+        )
+    return "\n".join(lines)

@@ -31,6 +31,7 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import weakref
 from typing import Any, Dict, List, Optional, Tuple, Type
 
 import networkx as nx
@@ -39,11 +40,13 @@ from repro.core.params import SchemeParameters
 from repro.core.types import NodeId
 from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
+from repro.observability.profile import BuildProfile
 from repro.packing.ballpacking import BallPacking
 from repro.pipeline.sampling import sample_ordered_pairs
 
 #: Bump when artifact layout changes so on-disk caches self-invalidate.
-CACHE_FORMAT_VERSION = 1
+#: v2: metric keys carry the normalization scale; schemes carry tracers.
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclasses.dataclass
@@ -121,26 +124,35 @@ class BuildContext:
 
     def __init__(self, cache_dir: Optional[str] = None) -> None:
         self._memory: Dict[Tuple, Any] = {}
-        self._metric_keys: Dict[int, str] = {}
+        # Keyed by the metric *object* (weakly, so the cache never keeps
+        # a metric alive): an id()-keyed dict would let a collected
+        # metric's id be reused by a new one, which would then silently
+        # inherit the wrong content key.
+        self._metric_keys: "weakref.WeakKeyDictionary[GraphMetric, Tuple[str, float]]" = (
+            weakref.WeakKeyDictionary()
+        )
         self._cache_dir = cache_dir
         self.stats = BuildStats()
+        self.profile = BuildProfile()
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
 
     # -- keys -----------------------------------------------------------
 
-    def metric_key(self, metric: GraphMetric) -> str:
-        """Graph content key of a metric (cached per metric object).
+    def metric_key(self, metric: GraphMetric) -> Tuple[str, float]:
+        """Cache identity of a metric: ``(graph content hash, scale)``.
 
         Works for metrics built outside the context too: the key is
-        computed from the underlying (relabelled) graph.  The metric's
-        normalization is part of the graph content, so two metrics over
-        the same graph share the key.
+        computed from the underlying (relabelled) graph.  The applied
+        normalization scale is part of the key — ``GraphMetric(g)`` and
+        ``GraphMetric(g, normalize=False)`` over a graph with min edge
+        weight != 1 define *different* metrics and must never share
+        hierarchies, packings, pairs, or schemes.
         """
-        key = self._metric_keys.get(id(metric))
+        key = self._metric_keys.get(metric)
         if key is None:
-            key = graph_content_key(metric.graph)
-            self._metric_keys[id(metric)] = key
+            key = (graph_content_key(metric.graph), float(metric.scale))
+            self._metric_keys[metric] = key
         return key
 
     # -- generic memoization -------------------------------------------
@@ -153,7 +165,11 @@ class BuildContext:
         artifact = self._disk_load(kind, full_key)
         if artifact is None:
             self.stats.record(kind, "misses")
-            artifact = builder()
+            # Timings are inclusive: a scheme's builder resolves its
+            # substrates through the context, so their build time shows
+            # up both under their own kind and inside the scheme's.
+            with self.profile.timed("build", kind):
+                artifact = builder()
             self._disk_store(kind, full_key, artifact)
         else:
             self.stats.record(kind, "disk_hits")
@@ -171,7 +187,9 @@ class BuildContext:
         if path is None or not os.path.exists(path):
             return None
         try:
-            with open(path, "rb") as handle:
+            with open(path, "rb") as handle, self.profile.timed(
+                "disk_load", kind
+            ):
                 stored_key, artifact = pickle.load(handle)
         except Exception:
             # Corrupt, truncated, or stale entries raise a grab-bag of
@@ -188,7 +206,9 @@ class BuildContext:
             return
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
-            with open(tmp, "wb") as handle:
+            with open(tmp, "wb") as handle, self.profile.timed(
+                "disk_store", kind
+            ):
                 pickle.dump((full_key, artifact), handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except (OSError, pickle.PicklingError, RecursionError):
@@ -204,7 +224,10 @@ class BuildContext:
         metric = self._get_or_build(
             "metric", key, lambda: GraphMetric(graph, normalize=normalize)
         )
-        self._metric_keys.setdefault(id(metric), key[0])
+        # Register the *applied* scale (not the normalize flag): with
+        # min edge weight 1 both flags build the same metric, and keying
+        # on the scale lets them share downstream artifacts.
+        self._metric_keys.setdefault(metric, (key[0], float(metric.scale)))
         return metric
 
     def hierarchy(
@@ -259,13 +282,20 @@ class BuildContext:
         cls_name = f"{scheme_cls.__module__}.{scheme_cls.__qualname__}"
         if any(value is _UNKEYABLE for _, value in canonical):
             self.stats.record("scheme", "misses")
-            return scheme_cls.from_context(self, metric, params, **kwargs)
+            with self.profile.timed("build", "scheme"):
+                return scheme_cls.from_context(self, metric, params, **kwargs)
         key = (self.metric_key(metric), cls_name, params_key(params), canonical)
         return self._get_or_build(
             "scheme",
             key,
             lambda: scheme_cls.from_context(self, metric, params, **kwargs),
         )
+
+    # -- observability --------------------------------------------------
+
+    def profile_report(self) -> Dict[str, Any]:
+        """Merged timing + hit/miss report (see ``BuildProfile.report``)."""
+        return self.profile.report(self.stats)
 
     # -- maintenance ----------------------------------------------------
 

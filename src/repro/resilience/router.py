@@ -38,6 +38,12 @@ from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple, Union
 from repro.core.types import DeliveryStatus, NodeId
 from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
+from repro.observability.trace import (
+    NULL_TRACER,
+    RecordingTracer,
+    RouteTrace,
+    Tracer,
+)
 from repro.resilience.degraded import DegradedNetwork
 from repro.runtime.simulator import expand_to_physical_path
 from repro.schemes.base import RoutingScheme
@@ -322,6 +328,7 @@ class ResilientRouter:
         self._ttl = ttl
         self._hierarchy = hierarchy
         self._plan_cache: Dict[Tuple[NodeId, NodeId], List[NodeId]] = {}
+        self._tracer: Tracer = NULL_TRACER
         #: Target of the packet currently being routed (policy hook).
         self.current_target: Optional[NodeId] = None
 
@@ -423,10 +430,41 @@ class ResilientRouter:
         finally:
             self.current_target = None
 
+    def trace_route(
+        self, source: NodeId, target: NodeId
+    ) -> Tuple[ResilientRouteResult, RouteTrace]:
+        """Route with a recording tracer; returns ``(result, trace)``.
+
+        Every physical hop becomes a ``forward`` event; each successful
+        fallback-policy activation is tagged with a zero-cost
+        ``fallback`` event carrying the policy name and the walk's
+        escalation level, so recovery decisions are visible inline with
+        the hops they caused.
+        """
+        trace = RouteTrace(
+            scheme=f"resilient[{self._policy.name}]: {self._scheme.name}",
+            source=source,
+            destination=target,
+        )
+        previous = self._tracer
+        self._tracer = RecordingTracer(trace)
+        try:
+            result = self.route(source, target)
+        finally:
+            self._tracer = previous
+        trace.delivered_to = result.path[-1] if result.path else None
+        return result, trace
+
     def _step(self, walk: _Walk, nxt: NodeId) -> None:
-        walk.cost += self._degraded.edge_weight(walk.path[-1], nxt)
+        current = walk.path[-1]
+        weight = self._degraded.edge_weight(current, nxt)
+        walk.cost += weight
         walk.path.append(nxt)
         walk.hops += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                node=current, phase="forward", nodes=(nxt,), cost=weight
+            )
 
     def _forward(self, walk: _Walk, target: NodeId, finish):
         degraded = self._degraded
@@ -477,6 +515,13 @@ class ResilientRouter:
             if reason is not None:
                 return finish(DeliveryStatus.DROPPED, walk, reason)
             walk.detours += 1
+            if self._tracer.enabled:
+                self._tracer.event(
+                    node=current,
+                    phase="fallback",
+                    level=walk.level,
+                    entry=self._policy.name,
+                )
 
     def evaluate(
         self, pairs: Iterable[Tuple[NodeId, NodeId]]

@@ -8,8 +8,10 @@ of the worst-case header by construction.
 The three shipped codecs mirror the paper's schemes:
 
 * :func:`labeled_simple_codec` — the non-scale-free labeled scheme
-  carries only the destination label: ``⌈log n⌉`` bits (plus a live
-  bit), matching Lemma 3.1's ``O(log n)`` headers.
+  carries only the destination label: exactly ``⌈log n⌉`` bits,
+  matching Lemma 3.1's ``O(log n)`` headers.  (No extra flag bits: the
+  ring walk of Lemma 3.1 is stateless, so the label is the whole
+  header.)
 * :func:`labeled_scalefree_codec` — Algorithm 5 additionally carries the
   previous ring level, a phase tag, the packing level, and (during the
   Voronoi phase) up to two tree-local labels.  With the

@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.types import NodeId
 from repro.metric.graph_metric import GraphMetric
+from repro.observability.trace import RouteTrace
 from repro.pipeline.sampling import draw_pair
 from repro.schemes.base import RoutingScheme
 
@@ -81,6 +82,8 @@ class DeliveredPacket:
     propagation: float
     queueing: float
     physical_path: Optional[List[NodeId]] = None
+    #: Route-decision trace, populated when ``run(..., trace=True)``.
+    trace: Optional[RouteTrace] = None
 
     @property
     def latency(self) -> float:
@@ -164,19 +167,38 @@ class TrafficSimulator:
         self._metric = scheme.metric
         self._service_time = service_time
 
-    def run(self, demands: Iterable[Demand]) -> SimulationReport:
-        """Simulate all demands to completion."""
+    def run(
+        self, demands: Iterable[Demand], trace: bool = False
+    ) -> SimulationReport:
+        """Simulate all demands to completion.
+
+        Args:
+            demands: Packets to inject, in injection order.
+            trace: When ``True``, record a route-decision trace for
+                every packet (``DeliveredPacket.trace``) by routing via
+                ``scheme.trace_route``; hop sequences are identical
+                either way.
+        """
         metric = self._metric
         # Precompute each packet's hop sequence from the scheme, and its
         # expansion into the physical edges it will actually occupy.
         packets: List[Tuple[Demand, List[NodeId], List[NodeId]]] = []
+        traces: List[Optional[RouteTrace]] = []
         for demand in demands:
             if demand.source == demand.target:
                 packets.append(
                     (demand, [demand.source], [demand.source])
                 )
+                traces.append(None)
                 continue
-            result = self._scheme.route(demand.source, demand.target)
+            if trace:
+                result, packet_trace = self._scheme.trace_route(
+                    demand.source, demand.target
+                )
+                traces.append(packet_trace)
+            else:
+                result = self._scheme.route(demand.source, demand.target)
+                traces.append(None)
             packets.append(
                 (
                     demand,
@@ -185,23 +207,23 @@ class TrafficSimulator:
                 )
             )
 
-        # Event queue: (time, seq, packet_index, hop_index), with hops
+        # Event queue: (time, packet_index, hop_index), with hops
         # indexing the *physical* path — packets queue on, and occupy,
-        # the real graph edges underneath any virtual detour.
-        events: List[Tuple[float, int, int, int]] = []
-        seq = 0
+        # the real graph edges underneath any virtual detour.  The
+        # packet index is its injection order, so ties at equal times
+        # always resolve in injection order — including mid-flight
+        # re-queued events, which would jump the line if ties were
+        # broken by a global event sequence number instead.
+        events: List[Tuple[float, int, int]] = []
         for index, (demand, _, _) in enumerate(packets):
-            heapq.heappush(
-                events, (demand.inject_at, seq, index, 0)
-            )
-            seq += 1
+            heapq.heappush(events, (demand.inject_at, index, 0))
 
         link_free_at: Dict[Tuple[NodeId, NodeId], float] = {}
         queueing: List[float] = [0.0] * len(packets)
         delivered: List[Optional[float]] = [None] * len(packets)
 
         while events:
-            now, _, index, hop = heapq.heappop(events)
+            now, index, hop = heapq.heappop(events)
             demand, _, physical = packets[index]
             if hop == len(physical) - 1:
                 delivered[index] = now
@@ -212,8 +234,7 @@ class TrafficSimulator:
             queueing[index] += start - now
             link_free_at[(a, b)] = start + self._service_time
             arrival = start + self._service_time + metric.distance(a, b)
-            heapq.heappush(events, (arrival, seq, index, hop + 1))
-            seq += 1
+            heapq.heappush(events, (arrival, index, hop + 1))
 
         report_packets = []
         for index, (demand, path, physical) in enumerate(packets):
@@ -232,6 +253,8 @@ class TrafficSimulator:
                     physical_path=physical,
                 )
             )
+        for packet, packet_trace in zip(report_packets, traces):
+            packet.trace = packet_trace
         return SimulationReport(packets=report_packets)
 
 

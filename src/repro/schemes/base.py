@@ -28,6 +28,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.params import SchemeParameters
 from repro.core.types import NodeId, PreprocessingError, RouteResult
 from repro.metric.graph_metric import GraphMetric
+from repro.observability.trace import (
+    NULL_TRACER,
+    RecordingTracer,
+    RouteTrace,
+    Tracer,
+)
 
 
 #: The scheme under evaluation in this worker process, installed once by
@@ -40,6 +46,19 @@ def _init_evaluation_worker(scheme: "RoutingScheme") -> None:
     """Pool initializer: receive the scheme once per worker process."""
     global _EVALUATION_SCHEME
     _EVALUATION_SCHEME = scheme
+
+
+def _clear_evaluation_worker() -> None:
+    """Drop the installed scheme again.
+
+    ``parallel_map``'s serial/one-chunk fallback runs the initializer
+    *in the parent process*; without this, the module global would pin a
+    full scheme (and through it the APSP matrix) in the parent forever
+    after a single ``evaluate(jobs=...)`` call.  Worker processes die
+    with their pool, so clearing is only about the in-process fallback.
+    """
+    global _EVALUATION_SCHEME
+    _EVALUATION_SCHEME = None
 
 
 def _evaluate_pairs_chunk(chunk):
@@ -78,6 +97,9 @@ class RoutingScheme(abc.ABC):
         self._metric = metric
         self._params = params
         self._table_bits_cache: Optional[List[int]] = None
+        #: Route-decision recorder; the shared no-op singleton unless a
+        #: trace_route() call is in flight (see repro.observability).
+        self._tracer: Tracer = NULL_TRACER
 
     @classmethod
     def from_context(
@@ -114,6 +136,39 @@ class RoutingScheme(abc.ABC):
         its label up (the sender is assumed to know it, as in the labeled
         model), while name-independent schemes use only its *name*.
         """
+
+    # -- tracing -------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The active route-decision recorder (no-op by default)."""
+        return self._tracer
+
+    def trace_route(
+        self, source: NodeId, target: NodeId
+    ) -> Tuple[RouteResult, RouteTrace]:
+        """Route one packet while recording every forwarding decision.
+
+        Installs a :class:`~repro.observability.trace.RecordingTracer`
+        for the duration of a single ``route()`` call and restores the
+        previous tracer afterwards, so concurrent plain ``route()``
+        calls stay zero-overhead.  Replaying the returned trace
+        reproduces ``result.path`` and ``result.cost`` exactly (a
+        property test in ``tests/test_observability.py`` holds every
+        scheme to this).
+        """
+        trace = RouteTrace(
+            scheme=self.name, source=source, destination=target
+        )
+        previous = self._tracer
+        self._tracer = RecordingTracer(trace)
+        try:
+            result = self.route(source, target)
+        finally:
+            self._tracer = previous
+        trace.delivered_to = result.target
+        trace.header_bits = result.header_bits
+        return result, trace
 
     # -- storage accounting --------------------------------------------
 
@@ -183,13 +238,18 @@ class RoutingScheme(abc.ABC):
             from repro.pipeline.parallel import chunk_evenly, parallel_map, resolve_jobs
 
             chunks = chunk_evenly(pairs, resolve_jobs(jobs))
-            outcomes = parallel_map(
-                _evaluate_pairs_chunk,
-                chunks,
-                jobs=jobs,
-                initializer=_init_evaluation_worker,
-                initargs=(self,),
-            )
+            try:
+                outcomes = parallel_map(
+                    _evaluate_pairs_chunk,
+                    chunks,
+                    jobs=jobs,
+                    initializer=_init_evaluation_worker,
+                    initargs=(self,),
+                )
+            finally:
+                # The serial/one-chunk fallback runs the initializer in
+                # this process; do not leave the scheme pinned here.
+                _clear_evaluation_worker()
             stretches = []
             worst = None
             for chunk_stretches, chunk_worst in outcomes:

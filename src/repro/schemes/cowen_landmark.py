@@ -133,6 +133,7 @@ class CowenLandmarkScheme(LabeledScheme):
 
         current = source
         via_landmark = False
+        tracer = self._tracer
         guard = 4 * metric.n
         while current != target:
             if target in self._clusters[current] or current == home or (
@@ -142,10 +143,41 @@ class CowenLandmarkScheme(LabeledScheme):
                 nxt = metric.next_hop(current, target)
                 key = "from_landmark" if via_landmark else "direct"
                 legs[key] += metric.edge_weight(current, nxt)
+                if tracer.enabled:
+                    table = (
+                        "landmark table"
+                        if target in self._landmarks or current == home
+                        else f"cluster C({current})"
+                    )
+                    tracer.event(
+                        node=current,
+                        phase=key,
+                        nodes=(nxt,),
+                        cost=metric.edge_weight(current, nxt),
+                        entry=f"{table} entry for {target}",
+                        header_after={
+                            "target": target,
+                            "home": home,
+                            "via_landmark": int(via_landmark),
+                        },
+                    )
             else:
                 # Head for the destination's home landmark.
                 nxt = metric.next_hop(current, home)
                 legs["to_landmark"] += metric.edge_weight(current, nxt)
+                if tracer.enabled:
+                    tracer.event(
+                        node=current,
+                        phase="to_landmark",
+                        nodes=(nxt,),
+                        cost=metric.edge_weight(current, nxt),
+                        entry=f"landmark table entry for L({target})={home}",
+                        header_after={
+                            "target": target,
+                            "home": home,
+                            "via_landmark": int(nxt == home),
+                        },
+                    )
                 if nxt == home:
                     via_landmark = True
             current = nxt

@@ -120,16 +120,29 @@ class NonScaleFreeLabeledScheme(LabeledScheme):
         if not 0 <= label < self._metric.n:
             raise RouteFailure(f"label {label} out of range")
         metric = self._metric
+        tracer = self._tracer
         path = [source]
         current = source
         guard = 4 * metric.n * (self._hierarchy.top_level + 2)
         while self._hierarchy.label(current) != label:
-            _, x, _ = self.min_level_hit(current, label)
+            i, x, _ = self.min_level_hit(current, label)
             if x == current:  # pragma: no cover - impossible for eps<=1/2
                 raise RouteFailure(
                     f"walk stalled at {current} (epsilon too large?)"
                 )
-            current = metric.next_hop(current, x)
+            nxt = metric.next_hop(current, x)
+            if tracer.enabled:
+                tracer.event(
+                    node=current,
+                    phase="walk",
+                    nodes=(nxt,),
+                    cost=metric.edge_weight(current, nxt),
+                    level=i,
+                    entry=f"X_{i}({current}) hit x={x} covering l={label}",
+                    header_before={"target_label": label},
+                    header_after={"target_label": label},
+                )
+            current = nxt
             path.append(current)
             if len(path) > guard:  # pragma: no cover - defensive
                 raise RouteFailure("labeled walk failed to converge")

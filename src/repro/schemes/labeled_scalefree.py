@@ -247,6 +247,7 @@ class ScaleFreeLabeledScheme(LabeledScheme):
             raise RouteFailure(f"label {label} out of range")
         metric = self._metric
         eps = self._params.epsilon
+        tracer = self._tracer
         path = [source]
         legs = {"walk": 0.0, "to_center": 0.0, "search": 0.0, "final": 0.0}
         current = source
@@ -269,6 +270,21 @@ class ScaleFreeLabeledScheme(LabeledScheme):
                 or (i <= previous_level and dist >= threshold - DISTANCE_SLACK)
             ):
                 nxt = metric.next_hop(current, x)
+                if tracer.enabled:
+                    what = "destination" if is_destination else "proxy"
+                    before = {"target_label": label}
+                    if math.isfinite(previous_level):
+                        before["prev_level"] = int(previous_level)
+                    tracer.event(
+                        node=current,
+                        phase="walk",
+                        nodes=(nxt,),
+                        cost=metric.edge_weight(current, nxt),
+                        level=i,
+                        entry=f"ring R(u) level {i} hit x={x} ({what})",
+                        header_before=before,
+                        header_after={"target_label": label, "prev_level": i},
+                    )
                 legs["walk"] += metric.edge_weight(current, nxt)
                 current = nxt
                 path.append(current)
@@ -286,6 +302,13 @@ class ScaleFreeLabeledScheme(LabeledScheme):
         if hit is None:
             start_j = metric.log_n
             self.fallback_count += 1
+            if tracer.enabled:
+                tracer.event(
+                    node=current,
+                    phase="fallback",
+                    level=start_j,
+                    entry="no ring hit: escalate to the global packing level",
+                )
         else:
             start_j = self._size_level_for(current, 2.0 ** hit[0])
         for j in range(start_j, metric.log_n + 1):
@@ -293,6 +316,16 @@ class ScaleFreeLabeledScheme(LabeledScheme):
             if done:
                 return self._finish(source, current, path, legs)
             self.fallback_count += 1
+            if tracer.enabled and j < metric.log_n:
+                tracer.event(
+                    node=current,
+                    phase="fallback",
+                    level=j + 1,
+                    entry=(
+                        f"search tree II miss at packing level {j}: "
+                        f"escalate to {j + 1}"
+                    ),
+                )
         raise RouteFailure(  # pragma: no cover - global level always hits
             f"label {label} not found even at the global level"
         )
@@ -310,25 +343,69 @@ class ScaleFreeLabeledScheme(LabeledScheme):
         Returns ``(reached_destination, node_where_packet_is)``.
         """
         metric = self._metric
+        tracer = self._tracer
         c = self._voronoi_center[j][current]
         router = self._routers[j][c]
         # Route current -> c on T_c(j) (u_t stores l(c; c, j)).
         tree_path = router.route(current, router.label(c))
-        for a, b in zip(tree_path, tree_path[1:]):
-            legs["to_center"] += metric.edge_weight(a, b)
-            path.append(b)
+        leg_cost = sum(
+            metric.edge_weight(a, b)
+            for a, b in zip(tree_path, tree_path[1:])
+        )
+        legs["to_center"] += leg_cost
+        path.extend(tree_path[1:])
+        if tracer.enabled:
+            header = {"target_label": label, "packing_level": j}
+            if isinstance(router.label(c), int):
+                header["tree_center"] = router.label(c)
+            tracer.event(
+                node=tree_path[0],
+                phase="to_center",
+                nodes=tuple(tree_path[1:]),
+                cost=leg_cost,
+                level=j,
+                entry=f"Voronoi center c={c} of B_j, tree-route on T_c({j})",
+                header_after=header,
+            )
         current = c
         # Look up l(v; c, j) by global label in T'(c, r_c(j)).
         outcome = self._searchers[j][c].search(label)
         legs["search"] += outcome.cost
         path.extend(outcome.trail[1:])
+        if tracer.enabled:
+            verdict = "hit" if outcome.found else "miss"
+            tracer.event(
+                node=c,
+                phase="search",
+                nodes=tuple(outcome.trail[1:]),
+                cost=outcome.cost,
+                level=j,
+                entry=f"T'(c={c}, r_c({j})) lookup l={label}: {verdict}",
+                header_after={"target_label": label, "packing_level": j},
+            )
         if not outcome.found:
             return False, current
         # Route c -> v on T_c(j).
         final_path = router.route(c, outcome.data)
-        for a, b in zip(final_path, final_path[1:]):
-            legs["final"] += metric.edge_weight(a, b)
-            path.append(b)
+        leg_cost = sum(
+            metric.edge_weight(a, b)
+            for a, b in zip(final_path, final_path[1:])
+        )
+        legs["final"] += leg_cost
+        path.extend(final_path[1:])
+        if tracer.enabled:
+            header = {"target_label": label, "packing_level": j}
+            if isinstance(outcome.data, int):
+                header["tree_target"] = outcome.data
+            tracer.event(
+                node=c,
+                phase="final",
+                nodes=tuple(final_path[1:]),
+                cost=leg_cost,
+                level=j,
+                entry=f"tree-route on T_c({j}) to local label {outcome.data}",
+                header_after=header,
+            )
         return True, final_path[-1]
 
     def _finish(

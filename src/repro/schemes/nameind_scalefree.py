@@ -233,11 +233,24 @@ class ScaleFreeNameIndependentScheme(NameIndependentScheme):
         legs: Dict[str, float],
     ) -> Optional[int]:
         """Level-``i`` lookup at ``u``; returns the label if found."""
+        tracer = self._tracer
         own = self._own_trees.get((i, u))
         if own is not None:
             outcome = own.search(name)
             legs["search"] += outcome.cost
             path.extend(outcome.trail[1:])
+            if tracer.enabled:
+                verdict = "hit" if outcome.found else "miss"
+                tracer.event(
+                    node=u,
+                    phase="search",
+                    nodes=tuple(outcome.trail[1:]),
+                    cost=outcome.cost,
+                    level=i,
+                    entry=f"own tree T({u}, 2^{i}/eps): {verdict}",
+                    header_before={"target_name": name, "search_level": i},
+                    header_after={"target_name": name, "search_level": i},
+                )
             return int(outcome.data) if outcome.found else None
         j, c = self._h_links[(i, u)]
         # Detour: u -> c (labeled), search T on the packed ball, c -> u.
@@ -246,14 +259,46 @@ class ScaleFreeNameIndependentScheme(NameIndependentScheme):
         )
         legs["search"] += to_center.cost
         path.extend(to_center.path[1:])
+        if tracer.enabled:
+            tracer.event(
+                node=u,
+                phase="search",
+                nodes=tuple(to_center.path[1:]),
+                cost=to_center.cost,
+                level=i,
+                entry=f"H({u},{i}) link -> ball(j={j}, c={c}): detour out",
+                header_before={"target_name": name, "search_level": i},
+                header_after={"target_name": name, "search_level": i},
+            )
         outcome = self._packed_trees[(j, c)].search(name)
         legs["search"] += outcome.cost
         path.extend(outcome.trail[1:])
+        if tracer.enabled:
+            verdict = "hit" if outcome.found else "miss"
+            tracer.event(
+                node=c,
+                phase="search",
+                nodes=tuple(outcome.trail[1:]),
+                cost=outcome.cost,
+                level=i,
+                entry=f"packed-ball tree T(B in B_{j}, c={c}): {verdict}",
+                header_after={"target_name": name, "search_level": i},
+            )
         back = self._underlying.route_to_label(
             c, self._underlying.routing_label(u)
         )
         legs["search"] += back.cost
         path.extend(back.path[1:])
+        if tracer.enabled:
+            tracer.event(
+                node=c,
+                phase="search",
+                nodes=tuple(back.path[1:]),
+                cost=back.cost,
+                level=i,
+                entry=f"H({u},{i}) detour back to u={u}",
+                header_after={"target_name": name, "search_level": i},
+            )
         return int(outcome.data) if outcome.found else None
 
     # ------------------------------------------------------------------
@@ -280,12 +325,37 @@ class ScaleFreeNameIndependentScheme(NameIndependentScheme):
                 )
                 legs["zoom"] += leg.cost
                 path.extend(leg.path[1:])
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        node=current,
+                        phase="zoom",
+                        nodes=tuple(leg.path[1:]),
+                        cost=leg.cost,
+                        level=i + 1,
+                        entry=(
+                            f"stored parent label l(u({i + 1}))="
+                            f"{self._underlying.routing_label(parent)}"
+                        ),
+                        header_after={
+                            "target_name": name,
+                            "search_level": i + 1,
+                        },
+                    )
                 current = parent
         if found_label is None:  # pragma: no cover - top level covers V
             raise RouteFailure(f"name {name} not found at the top level")
         final = self._underlying.route_to_label(current, found_label)
         legs["final"] += final.cost
         path.extend(final.path[1:])
+        if self._tracer.enabled:
+            self._tracer.event(
+                node=current,
+                phase="final",
+                nodes=tuple(final.path[1:]),
+                cost=final.cost,
+                entry=f"retrieved label l={found_label}",
+                header_after={"target_name": name},
+            )
         target = final.target
         if self.name_of(target) != name:
             # The delivered node checks the packet's destination name

@@ -118,12 +118,28 @@ class SimpleNameIndependentScheme(NameIndependentScheme):
             raise RouteFailure(f"name {name} out of range")
         path = [source]
         legs = {"zoom": 0.0, "search": 0.0, "final": 0.0}
+        tracer = self._tracer
         current = source
         found_label: Optional[int] = None
         for i in self._hierarchy.levels:
             outcome = self._trees[i][current].search(name)
             legs["search"] += outcome.cost
             path.extend(outcome.trail[1:])
+            if tracer.enabled:
+                verdict = "hit" if outcome.found else "miss"
+                tracer.event(
+                    node=current,
+                    phase="search",
+                    nodes=tuple(outcome.trail[1:]),
+                    cost=outcome.cost,
+                    level=i,
+                    entry=f"T(u({i})={current}, 2^{i}/eps): {verdict}",
+                    header_before={"target_name": name, "search_level": i},
+                    header_after={
+                        "target_name": name,
+                        "search_level": i if outcome.found else i + 1,
+                    },
+                )
             if outcome.found:
                 found_label = int(outcome.data)
                 break
@@ -137,6 +153,26 @@ class SimpleNameIndependentScheme(NameIndependentScheme):
                 )
                 legs["zoom"] += leg.cost
                 path.extend(leg.path[1:])
+                if tracer.enabled:
+                    tracer.event(
+                        node=current,
+                        phase="zoom",
+                        nodes=tuple(leg.path[1:]),
+                        cost=leg.cost,
+                        level=i + 1,
+                        entry=(
+                            f"stored parent label l(u({i + 1}))="
+                            f"{self._underlying.routing_label(parent)}"
+                        ),
+                        header_before={
+                            "target_name": name,
+                            "search_level": i + 1,
+                        },
+                        header_after={
+                            "target_name": name,
+                            "search_level": i + 1,
+                        },
+                    )
                 current = parent
         if found_label is None:  # pragma: no cover - top ball covers V
             raise RouteFailure(
@@ -145,6 +181,15 @@ class SimpleNameIndependentScheme(NameIndependentScheme):
         final = self._underlying.route_to_label(current, found_label)
         legs["final"] += final.cost
         path.extend(final.path[1:])
+        if tracer.enabled:
+            tracer.event(
+                node=current,
+                phase="final",
+                nodes=tuple(final.path[1:]),
+                cost=final.cost,
+                entry=f"retrieved label l={found_label}",
+                header_after={"target_name": name},
+            )
         target = final.target
         if self.name_of(target) != name:
             # The delivered node checks the packet's destination name

@@ -43,6 +43,18 @@ class ShortestPathScheme(NameIndependentScheme):
         cost = sum(
             self._metric.edge_weight(a, b) for a, b in zip(path, path[1:])
         )
+        tracer = self._tracer
+        if tracer.enabled:
+            # One table decision per hop: the next-hop entry for `name`.
+            for a, b in zip(path, path[1:]):
+                tracer.event(
+                    node=a,
+                    phase="direct",
+                    nodes=(b,),
+                    cost=self._metric.edge_weight(a, b),
+                    entry=f"next-hop[{name}] = {b}",
+                    header_after={"target_name": name},
+                )
         return RouteResult(
             source=source,
             target=target,

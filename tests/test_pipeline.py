@@ -213,3 +213,80 @@ def test_run_experiment_shares_context_across_calls():
         "structures", epsilon=0.5, pair_count=20, context=context
     )
     assert tables and all(t.rows for t in tables)
+
+
+# -- metric cache identity (normalization and object lifetime) --------------
+
+
+def test_normalized_and_raw_metrics_never_share_artifacts():
+    """Regression: ``normalize=False`` used to inherit normalized artifacts.
+
+    On a graph with min edge weight != 1 the two metrics have different
+    distances, so hierarchies/packings/pairs/schemes built for one are
+    wrong for the other.  The metric key must carry the applied scale.
+    """
+    import networkx as nx
+
+    graph = nx.path_graph(8)
+    for u, v in graph.edges():
+        graph[u][v]["weight"] = 4.0
+    context = BuildContext()
+    normalized = context.metric(graph, normalize=True)
+    raw = context.metric(graph, normalize=False)
+    assert normalized.distance(0, 1) == pytest.approx(1.0)
+    assert raw.distance(0, 1) == pytest.approx(4.0)
+    assert context.metric_key(normalized) != context.metric_key(raw)
+    h_norm = context.hierarchy(normalized)
+    h_raw = context.hierarchy(raw)
+    assert h_norm is not h_raw
+    assert context.packing(normalized) is not context.packing(raw)
+    s_norm = context.scheme(SimpleNameIndependentScheme, normalized)
+    s_raw = context.scheme(SimpleNameIndependentScheme, raw)
+    assert s_norm is not s_raw
+    assert s_raw.metric is raw
+
+
+def test_normalize_flag_shares_artifacts_when_scale_is_one(graph):
+    """With min weight 1 both flags define the same metric: share away."""
+    context = BuildContext()
+    normalized = context.metric(graph, normalize=True)
+    raw = context.metric(graph, normalize=False)
+    assert context.metric_key(normalized) == context.metric_key(raw)
+    assert context.hierarchy(normalized) is context.hierarchy(raw)
+
+
+def test_metric_key_survives_id_reuse():
+    """Regression: id()-keyed cache could serve a dead metric's key.
+
+    The mapping must hold the metric weakly by object, so a collected
+    metric's entry disappears instead of waiting for a new object to
+    reuse the id and inherit the wrong content hash.
+    """
+    import gc
+    import weakref
+
+    from repro.metric.graph_metric import GraphMetric
+
+    context = BuildContext()
+    keys = []
+    refs = []
+    for n in (12, 16):
+        metric = GraphMetric(random_geometric(n, seed=n))
+        keys.append(context.metric_key(metric))
+        refs.append(weakref.ref(metric))
+        del metric
+        gc.collect()
+        assert refs[-1]() is None, "context must not keep the metric alive"
+        assert len(context._metric_keys) == 0
+    assert keys[0] != keys[1]
+    # A fresh metric (plausibly reusing a freed id) gets its own key.
+    fresh = GraphMetric(random_geometric(12, seed=12))
+    assert context.metric_key(fresh) == keys[0]
+
+
+def test_profile_report_shape(graph):
+    context = BuildContext()
+    context.metric(graph)
+    report = context.profile_report()
+    assert report["kinds"]["metric"]["misses"] == 1
+    assert report["kinds"]["metric"]["build_seconds"] > 0.0

@@ -180,3 +180,35 @@ class TestUniformDemands:
             uniform_demands(1, 5)
         with pytest.raises(ValueError):
             uniform_demands(5, 5, rate=0.0)
+
+
+class TestInjectionOrderTies:
+    def test_midflight_packet_wins_tie_against_later_injection(self):
+        """Regression: ties must break by *injection* order, as documented.
+
+        Packet A (injected first, 0 -> 2) reaches node 1 at t = 2.0,
+        exactly when packet B (injected second at t = 2.0, 1 -> 2)
+        appears at node 1.  Both want link (1, 2).  The event queue used
+        to order ties by a global push sequence, which hands B — whose
+        injection event was pushed before A's mid-flight re-queue — the
+        link first.  A was injected first, so A must transmit first.
+        """
+        scheme = ShortestPathScheme(GraphMetric(path_graph(3)))
+        simulator = TrafficSimulator(scheme, service_time=1.0)
+        report = simulator.run(
+            [Demand(0, 2, inject_at=0.0), Demand(1, 2, inject_at=2.0)]
+        )
+        first, second = report.packets
+        assert first.queueing == pytest.approx(0.0)
+        assert second.queueing == pytest.approx(1.0)
+        assert first.delivered_at < second.delivered_at
+
+    def test_same_time_injections_serve_lower_index_first(self):
+        scheme = ShortestPathScheme(GraphMetric(path_graph(3)))
+        simulator = TrafficSimulator(scheme, service_time=1.0)
+        report = simulator.run(
+            [Demand(0, 2, inject_at=0.0), Demand(0, 2, inject_at=0.0)]
+        )
+        first, second = report.packets
+        assert first.queueing == pytest.approx(0.0)
+        assert second.queueing >= 1.0
