@@ -50,12 +50,16 @@ def _emit_profile(args: argparse.Namespace, context: BuildContext) -> None:
 def _registry_command(name: str) -> Callable[[argparse.Namespace], None]:
     def _cmd(args: argparse.Namespace) -> None:
         context = _context_from(args)
+        extra = (
+            {"edits": args.edits} if hasattr(args, "edits") else {}
+        )
         tables = run_experiment(
             name,
             epsilon=args.epsilon,
             pair_count=args.pairs,
             context=context,
             jobs=args.jobs,
+            **extra,
         )
         if args.json:
             print(json.dumps([t.to_dict() for t in tables], indent=2))
@@ -175,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             help="worker processes for independent cells (0 = all cores)",
         )
+        if name == "churn":
+            cmd.add_argument(
+                "--edits",
+                type=int,
+                default=500,
+                help="total edits to commit across the churn stream",
+            )
         if name == "report":
             cmd.add_argument("--output", default="EXPERIMENTS.md")
             cmd.add_argument(

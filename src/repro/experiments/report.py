@@ -20,6 +20,7 @@ from repro.experiments import ablation, congestion, fig1, fig2, fig3
 from repro.experiments import related_work, relaxed, resilience, scalefree
 from repro.experiments import storage_audit, structures, sweeps
 from repro.experiments import table1, table2
+from repro.experiments import churn as churn_experiment
 from repro.experiments.harness import ExperimentTable
 from repro.pipeline.context import BuildContext
 
@@ -297,6 +298,34 @@ def generate(
         "warm BuildContext is orders of magnitude cheaper than a cold\n"
         "build (artifact counts above; wall-clock in\n"
         "BENCH_resilience.json).\n"
+    )
+
+    e17 = churn_experiment.run(
+        epsilon=0.5, pair_count=pair_count, edits=150, jobs=jobs
+    )
+    sections.append(
+        "## E17 — incremental maintenance under churn (beyond the "
+        "paper)\n\n"
+        "A deterministic edit stream (60% weight changes, 24% link\n"
+        "churn, 16% node churn) mutates the grid while packets keep\n"
+        "flowing: each batch of 10 edits commits, the round's demands\n"
+        "route against the now-stale tables under a fallback policy,\n"
+        "then the tables are repaired *incrementally* through the warm\n"
+        "BuildContext — only artifact partitions whose node\n"
+        "dependencies intersect the edits' dirty set are rebuilt:\n\n"
+        + _block(e17) +
+        "\n**Reading:** repair keeps up with hundreds of edits per\n"
+        "second of rebuild time, and the delivery/stretch columns show\n"
+        "what staleness costs between repairs: fail-fast loses packets\n"
+        "at every changed link, while local-detour delivers nearly\n"
+        "everything at modest extra stretch.  The `verified` column\n"
+        "counts rounds whose incrementally maintained tables were\n"
+        "asserted **bit-identical** (routes, costs, table bits) to a\n"
+        "cold rebuild of the current graph — incremental maintenance\n"
+        "is exact, not approximate.  The 500-edit service run with\n"
+        "per-round staleness-stretch vs repair-throughput curves is\n"
+        "recorded in BENCH_churn.json; single-edit repair locality is\n"
+        "itemized in BENCH_resilience.json.\n"
     )
 
     if provenance:

@@ -29,6 +29,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from repro.core.edits import EditKind, GraphEdit
 from repro.core.types import NodeId, PreprocessingError
 
 #: Relative slack used when comparing floating-point distances.  All edge
@@ -65,6 +66,7 @@ class GraphMetric:
             )
         self._graph = graph
         self._n = graph.number_of_nodes()
+        self._normalize = normalize
 
         weights = [
             float(data.get("weight", 1.0))
@@ -85,7 +87,7 @@ class GraphMetric:
     # Construction helpers
     # ------------------------------------------------------------------
 
-    def _all_pairs_distances(self) -> np.ndarray:
+    def _csr(self) -> csr_matrix:
         rows: List[int] = []
         cols: List[int] = []
         vals: List[float] = []
@@ -94,10 +96,12 @@ class GraphMetric:
             rows.extend((u, v))
             cols.extend((v, u))
             vals.extend((w, w))
-        matrix = csr_matrix(
-            (vals, (rows, cols)), shape=(self._n, self._n)
+        return csr_matrix((vals, (rows, cols)), shape=(self._n, self._n))
+
+    def _all_pairs_distances(self) -> np.ndarray:
+        dist, pred = dijkstra(
+            self._csr(), directed=False, return_predecessors=True
         )
-        dist, pred = dijkstra(matrix, directed=False, return_predecessors=True)
         if not np.all(np.isfinite(dist)):
             raise PreprocessingError("graph must be connected")
         # pred[u, v] = predecessor of v on the canonical shortest path
@@ -105,6 +109,136 @@ class GraphMetric:
         # tolerance games, which break at large normalized diameters).
         self._pred = pred
         return dist
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (churn pipeline)
+    # ------------------------------------------------------------------
+
+    def detach_graph(self) -> None:
+        """Replace the wrapped graph with a private copy.
+
+        Called by ``BuildContext.apply_edit`` *before* mutating a graph
+        this metric aliases, so the (now stale) metric keeps a coherent
+        pre-edit view for readers that still hold it.
+        """
+        self._graph = self._graph.copy()
+
+    def _dirty_sources(self, edit: GraphEdit) -> np.ndarray:
+        """Boolean mask of sources whose distance row the edit may touch.
+
+        A source ``s`` is dirty iff the edited edge ``(u, v)`` lies on —
+        or ties with — some shortest path from ``s``, under the old
+        weight (paths the edit breaks or loosens) or the new weight
+        (paths the edit creates or tightens).  Tie-inclusion matters:
+        scipy's Dijkstra relaxes strictly, so an edge that never
+        improves *or ties* any ``d(s, ·)`` leaves the whole relaxation
+        trace — distances and predecessors — bit-identical, which is
+        what lets clean rows be spliced through unchanged.
+        """
+        u, v = edit.edge
+        d = self._dist
+        mask = np.zeros(self._n, dtype=bool)
+
+        def influence(w_norm: float) -> np.ndarray:
+            through = np.minimum(
+                d[u][:, None] + w_norm + d[v][None, :],
+                d[v][:, None] + w_norm + d[u][None, :],
+            )
+            return (through <= d + DISTANCE_SLACK).any(axis=1)
+
+        if edit.kind in (EditKind.WEIGHT, EditKind.EDGE_REMOVE):
+            old_w = float(self._graph[u][v].get("weight", 1.0)) / self._scale
+            mask |= influence(old_w)
+        if edit.kind in (EditKind.WEIGHT, EditKind.EDGE_ADD):
+            mask |= influence(float(edit.weight) / self._scale)
+        # The endpoints see the edge directly in their relaxation
+        # frontier; always re-examine them (``updated`` downgrades any
+        # candidate whose recomputed row turns out unchanged).
+        mask[u] = mask[v] = True
+        return mask
+
+    def updated(
+        self, post_graph: nx.Graph, edit: GraphEdit
+    ) -> Tuple["GraphMetric", FrozenSet[NodeId]]:
+        """A new metric for ``post_graph`` plus the dirty source set.
+
+        ``post_graph`` must already have ``edit`` applied and must *not*
+        be this metric's own graph object (see :meth:`detach_graph`);
+        this metric stays a coherent snapshot of the pre-edit network.
+
+        Only the dirty rows are re-run through Dijkstra; clean rows
+        (distances, predecessors, and their lazily built per-source
+        caches) are spliced from this metric, and the result is
+        bit-identical to ``GraphMetric(post_graph)`` built cold.  Edits
+        that change the node set or the normalization scale dirty
+        everything and fall back to a cold build.
+        """
+        if post_graph is self._graph:
+            raise PreprocessingError(
+                "updated() needs a detached pre-edit snapshot; call "
+                "detach_graph() before mutating a shared graph"
+            )
+        if edit.changes_node_set:
+            rebuilt = GraphMetric(post_graph, normalize=self._normalize)
+            return rebuilt, frozenset(range(rebuilt.n))
+        weights = [
+            float(data.get("weight", 1.0))
+            for _, _, data in post_graph.edges(data=True)
+        ]
+        if any(w <= 0 for w in weights):
+            raise PreprocessingError("edge weights must be positive")
+        new_scale = min(weights) if (self._normalize and weights) else 1.0
+        if new_scale != self._scale:
+            # The normalization divisor changed: every normalized
+            # distance in the matrix is scaled, so nothing is reusable.
+            rebuilt = GraphMetric(post_graph, normalize=self._normalize)
+            return rebuilt, frozenset(range(rebuilt.n))
+
+        mask = self._dirty_sources(edit)
+        candidates = np.nonzero(mask)[0]
+
+        new = object.__new__(GraphMetric)
+        new._graph = post_graph
+        new._n = self._n
+        new._normalize = self._normalize
+        new._scale = self._scale
+        sub_dist, sub_pred = dijkstra(
+            new._csr(),
+            directed=False,
+            indices=candidates,
+            return_predecessors=True,
+        )
+        if not np.all(np.isfinite(sub_dist)):
+            raise PreprocessingError("edit disconnected the graph")
+        new._dist = self._dist.copy()
+        new._dist[candidates] = sub_dist
+        new._pred = self._pred.copy()
+        new._pred[candidates] = sub_pred
+        # The tie-inclusive mask is conservative; on tie-heavy graphs
+        # (unit-weight grids) it can flag nearly every source.  The
+        # recomputed rows are in hand, so the *exact* dirty set is
+        # cheap: a candidate whose new relaxation trace (distances and
+        # predecessors) is bit-identical to the old row never changed —
+        # every artifact keyed to it is still exact.
+        changed = (sub_dist != self._dist[candidates]).any(axis=1) | (
+            sub_pred != self._pred[candidates]
+        ).any(axis=1)
+        dirty_set = frozenset(int(s) for s in candidates[changed])
+        new._diameter = float(new._dist.max()) if new._n > 1 else 1.0
+        new._order_cache = {
+            s: o for s, o in self._order_cache.items() if s not in dirty_set
+        }
+        new._sorted_dist_cache = {
+            s: sd
+            for s, sd in self._sorted_dist_cache.items()
+            if s not in dirty_set
+        }
+        new._next_hop_cache = {
+            s: h
+            for s, h in self._next_hop_cache.items()
+            if s not in dirty_set
+        }
+        return new, dirty_set
 
     # ------------------------------------------------------------------
     # Basic metric queries

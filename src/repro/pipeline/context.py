@@ -31,27 +31,39 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import time
 import weakref
-from typing import Any, Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Type
 
 import networkx as nx
 
+from repro.core.edits import EditKind, GraphEdit, apply_edit_to_graph
 from repro.core.params import SchemeParameters
 from repro.core.types import NodeId
 from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
 from repro.observability.profile import BuildProfile
+from repro.observability.trace import RouteTrace, TraceEvent
 from repro.packing.ballpacking import BallPacking
 from repro.pipeline.sampling import sample_ordered_pairs
 
 #: Bump when artifact layout changes so on-disk caches self-invalidate.
 #: v2: metric keys carry the normalization scale; schemes carry tracers.
-CACHE_FORMAT_VERSION = 2
+#: v3: XOR-aggregated content keys + dependency-tracked invalidation.
+CACHE_FORMAT_VERSION = 3
 
 
 @dataclasses.dataclass
 class BuildStats:
-    """Hit/miss counters per artifact kind (for tests and logging)."""
+    """Hit/miss counters per artifact kind (for tests and logging).
+
+    Two granularities share these counters: whole artifacts ("metric",
+    "hierarchy", "scheme", ...) recorded by the context's memoizer, and
+    the partitions inside them ("metric_row", "hierarchy_level",
+    "ring_block", "search_tree", "zoom_parent") folded in by the
+    builders so incremental rebuilds can be audited against the dirty
+    set of an edit rather than whole-graph cache hits.
+    """
 
     hits: Dict[str, int] = dataclasses.field(default_factory=dict)
     misses: Dict[str, int] = dataclasses.field(default_factory=dict)
@@ -61,9 +73,82 @@ class BuildStats:
         counter = getattr(self, outcome)
         counter[kind] = counter.get(kind, 0) + 1
 
+    def fold(self, report: Dict[str, Tuple[int, int]]) -> None:
+        """Merge a ``{kind: (reused, built)}`` partition report."""
+        for kind, (reused, built) in report.items():
+            if reused:
+                self.hits[kind] = self.hits.get(kind, 0) + reused
+            if built:
+                self.misses[kind] = self.misses.get(kind, 0) + built
+
     def built(self, kind: str) -> int:
         """Number of artifacts of ``kind`` actually constructed."""
         return self.misses.get(kind, 0)
+
+
+# -- content keys -------------------------------------------------------
+#
+# The content key of a graph is a hash of an XOR-aggregate of per-node
+# and per-edge tokens.  XOR makes the aggregate incrementally
+# maintainable: one edit XORs out the old tokens and XORs in the new
+# ones, O(1) per edit instead of re-hashing the full edge list.  The
+# aggregate is cached per graph *object* (weakly); the (n, m) guard
+# catches structural mutations that bypassed the edit path, but weight
+# mutations must flow through ``BuildContext.apply_edit`` (or
+# ``invalidate_content_key``) to keep the cached key exact.
+
+
+@dataclasses.dataclass
+class _KeyState:
+    node_acc: int
+    edge_acc: int
+    n: int
+    m: int
+    key: str
+
+
+_KEY_STATES: "weakref.WeakKeyDictionary[nx.Graph, _KeyState]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _token(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:16], "big")
+
+
+def _node_token(v: Any) -> int:
+    return _token(f"N{v!r};")
+
+
+def _edge_token(u: Any, v: Any, w: Any) -> int:
+    a, b = (u, v) if not v < u else (v, u)
+    return _token(f"E{a!r},{b!r},{float(w)!r};")
+
+
+def _aggregate_key(n: int, node_acc: int, edge_acc: int) -> str:
+    text = (
+        f"v{CACHE_FORMAT_VERSION}|n={n}|N={node_acc:032x}|E={edge_acc:032x}"
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _fresh_key_state(graph: nx.Graph) -> _KeyState:
+    node_acc = 0
+    for v in graph.nodes():
+        node_acc ^= _node_token(v)
+    edge_acc = 0
+    for u, v, data in graph.edges(data=True):
+        edge_acc ^= _edge_token(u, v, data.get("weight", 1.0))
+    n = graph.number_of_nodes()
+    state = _KeyState(
+        node_acc=node_acc,
+        edge_acc=edge_acc,
+        n=n,
+        m=graph.number_of_edges(),
+        key=_aggregate_key(n, node_acc, edge_acc),
+    )
+    _KEY_STATES[graph] = state
+    return state
 
 
 def graph_content_key(graph: nx.Graph) -> str:
@@ -71,19 +156,97 @@ def graph_content_key(graph: nx.Graph) -> str:
 
     Any change to the node set, the edge set, or a single edge weight
     changes the key — so cached artifacts can never be reused across
-    different inputs.
+    different inputs.  The key is cached on the graph object and
+    maintained incrementally through :meth:`BuildContext.apply_edit`;
+    mutate a graph by any other means and you must call
+    :func:`invalidate_content_key` (structural changes are caught by an
+    (n, m) guard, silent weight pokes are not).
     """
-    hasher = hashlib.sha256()
-    hasher.update(f"v{CACHE_FORMAT_VERSION}|n={graph.number_of_nodes()}|".encode())
-    for v in sorted(graph.nodes()):
-        hasher.update(f"N{v!r};".encode())
-    edges = sorted(
-        (min(u, v), max(u, v), float(d.get("weight", 1.0)))
-        for u, v, d in graph.edges(data=True)
+    state = _KEY_STATES.get(graph)
+    if (
+        state is not None
+        and state.n == graph.number_of_nodes()
+        and state.m == graph.number_of_edges()
+    ):
+        return state.key
+    return _fresh_key_state(graph).key
+
+
+def invalidate_content_key(graph: nx.Graph) -> None:
+    """Drop the cached content key after an out-of-band mutation."""
+    _KEY_STATES.pop(graph, None)
+
+
+def _advance_key_state(graph: nx.Graph, edit: GraphEdit) -> Tuple[int, int, int]:
+    """Pre-edit half of the O(1) key update; returns new aggregates.
+
+    Must be called *before* the edit is applied (old weights are read
+    off the graph); commit the result with :func:`_commit_key_state`
+    after the mutation.
+    """
+    state = _KEY_STATES.get(graph)
+    if (
+        state is None
+        or state.n != graph.number_of_nodes()
+        or state.m != graph.number_of_edges()
+    ):
+        state = _fresh_key_state(graph)
+    node_acc, edge_acc, n = state.node_acc, state.edge_acc, state.n
+    if edit.kind is EditKind.WEIGHT:
+        u, v = edit.edge
+        old_w = graph[u][v].get("weight", 1.0)
+        edge_acc ^= _edge_token(u, v, old_w) ^ _edge_token(u, v, edit.weight)
+    elif edit.kind is EditKind.EDGE_ADD:
+        u, v = edit.edge
+        edge_acc ^= _edge_token(u, v, edit.weight)
+    elif edit.kind is EditKind.EDGE_REMOVE:
+        u, v = edit.edge
+        edge_acc ^= _edge_token(u, v, graph[u][v].get("weight", 1.0))
+    elif edit.kind is EditKind.NODE_JOIN:
+        node_acc ^= _node_token(edit.node)
+        for x, w in edit.attach:
+            edge_acc ^= _edge_token(edit.node, x, w)
+        n += 1
+    elif edit.kind is EditKind.NODE_LEAVE:
+        node_acc ^= _node_token(edit.node)
+        for x in graph[edit.node]:
+            edge_acc ^= _edge_token(
+                edit.node, x, graph[edit.node][x].get("weight", 1.0)
+            )
+        n -= 1
+    return node_acc, edge_acc, n
+
+
+def _commit_key_state(
+    graph: nx.Graph, aggregates: Tuple[int, int, int]
+) -> str:
+    node_acc, edge_acc, n = aggregates
+    state = _KeyState(
+        node_acc=node_acc,
+        edge_acc=edge_acc,
+        n=n,
+        m=graph.number_of_edges(),
+        key=_aggregate_key(n, node_acc, edge_acc),
     )
-    for u, v, w in edges:
-        hasher.update(f"E{u!r},{v!r},{w!r};".encode())
-    return hasher.hexdigest()
+    _KEY_STATES[graph] = state
+    return state.key
+
+
+def _rekey(obj: Any, old: str, new: str) -> Any:
+    """Replace the old content hash inside a (nested) key tuple."""
+    if obj == old:
+        return new
+    if isinstance(obj, tuple):
+        return tuple(_rekey(item, old, new) for item in obj)
+    return obj
+
+
+def _mentions(obj: Any, key: str) -> bool:
+    if obj == key:
+        return True
+    if isinstance(obj, tuple):
+        return any(_mentions(item, key) for item in obj)
+    return False
 
 
 def params_key(params: SchemeParameters) -> Tuple[float, bool]:
@@ -113,6 +276,89 @@ def _canonical_kwarg(value: Any) -> Any:
 _UNKEYABLE = object()
 
 
+@dataclasses.dataclass
+class EditReport:
+    """What one :meth:`BuildContext.apply_edit` call did to the cache.
+
+    Attributes:
+        edit: The applied edit.
+        old_key / new_key: Graph content keys before and after.
+        dirty: Nodes whose metric rows the edit may have changed (the
+            edit's *dirty set*; every node on a full rebuild).
+        rows_rebuilt / rows_reused: APSP row splice accounting, summed
+            over every cached metric of the graph.
+        carried: Artifacts moved to the new key untouched, per kind
+            (dependency set provably disjoint from ``dirty``).
+        stashed: Artifacts parked for partial rebuild on next demand.
+        dropped: Artifacts discarded outright (full-rebuild edits).
+        full_rebuild: Whether the edit dirtied everything (node
+            join/leave, normalization-scale change, or no cached metric
+            to diff against).
+        seconds: Wall-clock time spent repairing the cache.
+    """
+
+    edit: GraphEdit
+    old_key: str
+    new_key: str
+    dirty: FrozenSet[NodeId]
+    rows_rebuilt: int
+    rows_reused: int
+    carried: Dict[str, int]
+    stashed: Dict[str, int]
+    dropped: Dict[str, int]
+    full_rebuild: bool
+    seconds: float
+
+    def to_trace(self) -> RouteTrace:
+        """The repair as a route-style trace (observability tie-in).
+
+        Repair events render and serialize exactly like forwarding
+        decisions: one ``repair`` event for the edit itself, one
+        ``splice`` event for the row surgery, and one ``carry`` event
+        per artifact disposition.
+        """
+        anchor = (
+            self.edit.edge[0] if self.edit.edge is not None else
+            (self.edit.node if self.edit.node is not None else 0)
+        )
+        trace = RouteTrace(
+            scheme="repair", source=anchor, destination=self.edit.describe()
+        )
+        trace.events.append(
+            TraceEvent(
+                node=anchor,
+                phase="repair",
+                entry=f"{self.edit.describe()}: key {self.old_key[:12]} "
+                f"-> {self.new_key[:12]}",
+            )
+        )
+        trace.events.append(
+            TraceEvent(
+                node=anchor,
+                phase="splice",
+                cost=self.seconds,
+                entry=f"dirty={len(self.dirty)} rows_rebuilt="
+                f"{self.rows_rebuilt} rows_reused={self.rows_reused}"
+                + (" (full rebuild)" if self.full_rebuild else ""),
+            )
+        )
+        for verb, counts in (
+            ("carried", self.carried),
+            ("stashed", self.stashed),
+            ("dropped", self.dropped),
+        ):
+            for kind in sorted(counts):
+                trace.events.append(
+                    TraceEvent(
+                        node=anchor,
+                        phase="carry",
+                        entry=f"{verb} {counts[kind]} x {kind}",
+                    )
+                )
+        trace.delivered_to = anchor
+        return trace
+
+
 class BuildContext:
     """Shared-substrate factory: build once, reuse everywhere.
 
@@ -131,6 +377,12 @@ class BuildContext:
         self._metric_keys: "weakref.WeakKeyDictionary[GraphMetric, Tuple[str, float]]" = (
             weakref.WeakKeyDictionary()
         )
+        # Stash of pre-edit artifacts awaiting partial rebuild, keyed by
+        # their *post-edit* full key: full_key -> (artifact, dirty set
+        # accumulated over every edit since the artifact was built).
+        # Disjoint from _memory by construction (apply_edit moves
+        # entries out; builders move them back in, possibly promoted).
+        self._previous: Dict[Tuple, Tuple[Any, FrozenSet[NodeId]]] = {}
         self._cache_dir = cache_dir
         self.stats = BuildStats()
         self.profile = BuildProfile()
@@ -157,19 +409,28 @@ class BuildContext:
 
     # -- generic memoization -------------------------------------------
 
-    def _get_or_build(self, kind: str, key: Tuple, builder) -> Any:
+    def _get_or_build(
+        self, kind: str, key: Tuple, builder, previous: Any = None
+    ) -> Any:
         full_key = (kind,) + key
         if full_key in self._memory:
             self.stats.record(kind, "hits")
             return self._memory[full_key]
         artifact = self._disk_load(kind, full_key)
         if artifact is None:
-            self.stats.record(kind, "misses")
             # Timings are inclusive: a scheme's builder resolves its
             # substrates through the context, so their build time shows
             # up both under their own kind and inside the scheme's.
             with self.profile.timed("build", kind):
                 artifact = builder()
+            # A partial rebuild that proves its output identical to the
+            # stashed pre-edit artifact *promotes* it (returns the same
+            # object) — that is a reuse, not a construction.
+            promoted = previous is not None and artifact is previous
+            self.stats.record(kind, "hits" if promoted else "misses")
+            report = getattr(artifact, "build_report", None)
+            if report:
+                self.stats.fold(report)
             self._disk_store(kind, full_key, artifact)
         else:
             self.stats.record(kind, "disk_hits")
@@ -221,9 +482,13 @@ class BuildContext:
     def metric(self, graph: nx.Graph, normalize: bool = True) -> GraphMetric:
         """The APSP metric of ``graph``, built once per content hash."""
         key = (graph_content_key(graph), normalize)
-        metric = self._get_or_build(
-            "metric", key, lambda: GraphMetric(graph, normalize=normalize)
-        )
+
+        def build() -> GraphMetric:
+            built = GraphMetric(graph, normalize=normalize)
+            self.stats.fold({"metric_row": (0, built.n)})
+            return built
+
+        metric = self._get_or_build("metric", key, build)
         # Register the *applied* scale (not the normalize flag): with
         # min edge weight 1 both flags build the same metric, and keying
         # on the scale lets them share downstream artifacts.
@@ -233,16 +498,44 @@ class BuildContext:
     def hierarchy(
         self, metric: GraphMetric, root: Optional[NodeId] = None
     ) -> NetHierarchy:
-        """The ``2^i``-net hierarchy of ``metric``, built once."""
+        """The ``2^i``-net hierarchy of ``metric``, built once.
+
+        After an edit, a stashed pre-edit hierarchy is rebuilt level by
+        level: net levels whose members all have clean rows replay
+        identically and are reused; if every level and every zooming
+        parent survives, the stashed object itself is promoted.
+        """
         key = (self.metric_key(metric), root)
+        prev = self._previous.pop(("hierarchy",) + key, None)
+
+        def build() -> NetHierarchy:
+            if prev is not None:
+                return NetHierarchy.rebuilt(metric, prev[0], prev[1], root=root)
+            return NetHierarchy(metric, root=root)
+
         return self._get_or_build(
-            "hierarchy", key, lambda: NetHierarchy(metric, root=root)
+            "hierarchy", key, build, previous=None if prev is None else prev[0]
         )
 
     def packing(self, metric: GraphMetric) -> BallPacking:
-        """The Lemma 2.3 ball packings of ``metric``, built once."""
+        """The Lemma 2.3 ball packings of ``metric``, built once.
+
+        Packings read every node's size-radius (their dependency set is
+        all of ``V``), so a dirtied packing is rebuilt in full — but an
+        unchanged result is detected and the stashed object promoted,
+        preserving identity for downstream reuse checks.
+        """
         key = (self.metric_key(metric),)
-        return self._get_or_build("packing", key, lambda: BallPacking(metric))
+        prev = self._previous.pop(("packing",) + key, None)
+
+        def build() -> BallPacking:
+            if prev is not None:
+                return BallPacking.rebuilt(metric, prev[0])
+            return BallPacking(metric)
+
+        return self._get_or_build(
+            "packing", key, build, previous=None if prev is None else prev[0]
+        )
 
     def pairs(
         self, metric: GraphMetric, count: int, seed: int = 0
@@ -285,10 +578,146 @@ class BuildContext:
             with self.profile.timed("build", "scheme"):
                 return scheme_cls.from_context(self, metric, params, **kwargs)
         key = (self.metric_key(metric), cls_name, params_key(params), canonical)
+        prev = self._previous.pop(("scheme",) + key, None)
+        supports_partial = getattr(scheme_cls, "supports_partial_rebuild", False)
+
+        def build() -> Any:
+            if prev is not None and supports_partial:
+                return scheme_cls.from_context(
+                    self,
+                    metric,
+                    params,
+                    _previous=prev[0],
+                    _dirty=prev[1],
+                    **kwargs,
+                )
+            return scheme_cls.from_context(self, metric, params, **kwargs)
+
         return self._get_or_build(
-            "scheme",
-            key,
-            lambda: scheme_cls.from_context(self, metric, params, **kwargs),
+            "scheme", key, build, previous=None if prev is None else prev[0]
+        )
+
+    # -- incremental maintenance (churn) --------------------------------
+
+    def apply_edit(self, graph: nx.Graph, edit: GraphEdit) -> EditReport:
+        """Apply ``edit`` to ``graph`` and repair the cache around it.
+
+        The graph is mutated in place and its content key advanced in
+        O(1).  Every cached metric of the graph is repaired eagerly by
+        splicing only the edit's dirty rows; every other artifact keyed
+        to the old content hash is either *carried* (dependency set
+        provably untouched — evaluation pairs), *stashed* for partial
+        rebuild on next demand, or *dropped* (full-rebuild edits).
+        Stale metrics handed out earlier keep a coherent pre-edit
+        snapshot of the graph, which is what the staleness-window
+        routing in :mod:`repro.churn` relies on.
+        """
+        start = time.perf_counter()
+        old_key = graph_content_key(graph)
+        aggregates = _advance_key_state(graph, edit)
+
+        metric_items = [
+            (full_key, artifact)
+            for full_key, artifact in self._memory.items()
+            if full_key[0] == "metric" and full_key[1] == old_key
+        ]
+        for _, old_metric in metric_items:
+            if old_metric.graph is graph:
+                old_metric.detach_graph()
+
+        apply_edit_to_graph(graph, edit)
+        new_key = _commit_key_state(graph, aggregates)
+
+        # Repair cached metrics by row splicing; union their dirty sets
+        # (they only differ when normalize=True/False coexist).
+        dirty: FrozenSet[NodeId] = frozenset()
+        rows_rebuilt = rows_reused = 0
+        any_metric = False
+        full_rebuild = edit.changes_node_set
+        for full_key, old_metric in metric_items:
+            any_metric = True
+            with self.profile.timed("build", "metric"):
+                new_metric, metric_dirty = old_metric.updated(graph, edit)
+            del self._memory[full_key]
+            self._memory[_rekey(full_key, old_key, new_key)] = new_metric
+            self._metric_keys[new_metric] = (new_key, float(new_metric.scale))
+            dirty |= metric_dirty
+            rebuilt = len(metric_dirty)
+            rows_rebuilt += rebuilt
+            rows_reused += new_metric.n - rebuilt
+            self.stats.fold(
+                {"metric_row": (new_metric.n - rebuilt, rebuilt)}
+            )
+            if len(metric_dirty) == new_metric.n:
+                full_rebuild = True
+                self.stats.record("metric", "misses")
+            else:
+                self.stats.record("metric", "hits")
+        if not any_metric:
+            # Nothing to diff against: treat everything as dirty.
+            dirty = frozenset(range(graph.number_of_nodes()))
+            full_rebuild = True
+
+        carried: Dict[str, int] = {}
+        stashed: Dict[str, int] = {}
+        dropped: Dict[str, int] = {}
+        stale_keys = [
+            full_key
+            for full_key in self._memory
+            if full_key[0] != "metric" and _mentions(full_key, old_key)
+        ]
+        for full_key in stale_keys:
+            artifact = self._memory.pop(full_key)
+            kind = full_key[0]
+            new_full_key = _rekey(full_key, old_key, new_key)
+            if kind == "pairs":
+                # Pair samples depend only on (n, count, seed) — carry
+                # unless the node set changed (then the key's n field is
+                # stale anyway and the entry would never be hit).
+                if not edit.changes_node_set:
+                    self._memory[new_full_key] = artifact
+                    carried[kind] = carried.get(kind, 0) + 1
+                    self.stats.record(kind, "hits")
+                else:
+                    dropped[kind] = dropped.get(kind, 0) + 1
+                continue
+            if full_rebuild:
+                # Every partition is dirty; a stash could never promote
+                # or reuse anything, so drop the artifact outright.
+                dropped[kind] = dropped.get(kind, 0) + 1
+                continue
+            self._previous[new_full_key] = (artifact, dirty)
+            stashed[kind] = stashed.get(kind, 0) + 1
+        # Artifacts stashed by an earlier edit and never rebuilt:
+        # re-key them and widen their accumulated dirty set.
+        stale_stash = [
+            full_key
+            for full_key in self._previous
+            if _mentions(full_key, old_key)
+        ]
+        for full_key in stale_stash:
+            artifact, accumulated = self._previous.pop(full_key)
+            if full_rebuild:
+                dropped[full_key[0]] = dropped.get(full_key[0], 0) + 1
+                continue
+            self._previous[_rekey(full_key, old_key, new_key)] = (
+                artifact,
+                accumulated | dirty,
+            )
+            stashed[full_key[0]] = stashed.get(full_key[0], 0) + 1
+
+        return EditReport(
+            edit=edit,
+            old_key=old_key,
+            new_key=new_key,
+            dirty=dirty,
+            rows_rebuilt=rows_rebuilt,
+            rows_reused=rows_reused,
+            carried=carried,
+            stashed=stashed,
+            dropped=dropped,
+            full_rebuild=full_rebuild,
+            seconds=time.perf_counter() - start,
         )
 
     # -- observability --------------------------------------------------
@@ -302,6 +731,7 @@ class BuildContext:
     def clear_memory(self) -> None:
         """Drop every in-memory artifact (disk entries are kept)."""
         self._memory.clear()
+        self._previous.clear()
         self._metric_keys.clear()
 
     def __repr__(self) -> str:

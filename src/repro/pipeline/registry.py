@@ -133,6 +133,11 @@ _SPECS = [
         "repro.experiments.resilience",
         funcs=("run", "run_repair"),
     ),
+    ExperimentSpec(
+        "churn",
+        "incremental maintenance under continuous edits and load",
+        "repro.experiments.churn",
+    ),
 ]
 
 REGISTRY: Dict[str, ExperimentSpec] = {spec.name: spec for spec in _SPECS}
@@ -155,11 +160,14 @@ def run_experiment(
     pair_count: int = 300,
     context: Optional[BuildContext] = None,
     jobs: int = 1,
+    **extra: Any,
 ) -> List[Any]:
     """Run one registered experiment; returns its ``ExperimentTable`` list.
 
     ``context`` defaults to a fresh in-memory :class:`BuildContext`;
-    pass a shared one to reuse substrates across experiments.
+    pass a shared one to reuse substrates across experiments.  Extra
+    keyword arguments are forwarded to runners that accept them (e.g.
+    ``edits`` for the churn experiment) and silently dropped otherwise.
     """
     spec = REGISTRY.get(name)
     if spec is None:
@@ -172,6 +180,7 @@ def run_experiment(
         "pair_count": pair_count,
         "context": context,
         "jobs": jobs,
+        **extra,
     }
     for old, new in spec.rename:
         kwargs[new] = kwargs.pop(old)

@@ -28,8 +28,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import networkx as nx
 
+from repro.core.edits import GraphEdit
 from repro.core.params import SchemeParameters
-from repro.pipeline.context import BuildContext
+from repro.pipeline.context import BuildContext, EditReport
 from repro.resilience.degraded import DegradedNetwork
 from repro.schemes.base import RoutingScheme
 
@@ -44,6 +45,10 @@ class RepairMeasurement:
     built: Dict[str, int]
     #: Artifacts served from the context cache, per kind.
     reused: Dict[str, int]
+    #: The rebuilt schemes — populated only when the measurement was
+    #: taken with ``keep_schemes=True``.  Retention is opt-in because a
+    #: scheme pins its full APSP matrix; sweeping measurements that only
+    #: read the counters were holding every rebuilt trio alive.
     schemes: List[RoutingScheme] = dataclasses.field(default_factory=list)
 
     @property
@@ -101,12 +106,14 @@ def rebuild_through_context(
     scheme_classes: Sequence[Type[RoutingScheme]],
     params: Optional[SchemeParameters] = None,
     label: str = "rebuild",
+    keep_schemes: bool = False,
 ) -> RepairMeasurement:
     """Build every scheme on ``graph`` through ``context``, timed.
 
     The context decides, per artifact, whether to reuse a cached copy
     (content hash unchanged) or construct anew; the measurement records
-    both counts alongside wall-clock seconds.
+    both counts alongside wall-clock seconds.  The built scheme objects
+    are retained on the measurement only with ``keep_schemes=True``.
     """
     if params is None:
         params = SchemeParameters()
@@ -123,7 +130,7 @@ def rebuild_through_context(
         seconds=seconds,
         built=_delta(built_before, built_after),
         reused=_delta(reused_before, reused_after),
-        schemes=schemes,
+        schemes=schemes if keep_schemes else [],
     )
 
 
@@ -132,6 +139,7 @@ def measure_repair(
     scheme_classes: Sequence[Type[RoutingScheme]],
     params: Optional[SchemeParameters] = None,
     warm_context: Optional[BuildContext] = None,
+    keep_schemes: bool = False,
 ) -> Tuple[RepairMeasurement, RepairMeasurement]:
     """Measured cold vs incremental rebuild on a recovered topology.
 
@@ -139,6 +147,12 @@ def measure_repair(
     (a fresh one is primed here if not given — mirroring a deployment
     that kept its build cache).  Returns ``(cold, incremental)``
     measurements for the same ``graph`` and scheme set.
+
+    Note the topology here is *content-identical* to what the warm
+    context already built (fail-and-fully-recover), so the incremental
+    path is pure cache hits.  For the cost of repairing after a real
+    edit — where only the artifacts intersecting the edit's dirty set
+    are rebuilt — see :func:`measure_edit_repair`.
     """
     if warm_context is None:
         warm_context = BuildContext()
@@ -146,7 +160,12 @@ def measure_repair(
             warm_context, graph, scheme_classes, params, label="prime"
         )
     cold = rebuild_through_context(
-        BuildContext(), graph, scheme_classes, params, label="cold rebuild"
+        BuildContext(),
+        graph,
+        scheme_classes,
+        params,
+        label="cold rebuild",
+        keep_schemes=keep_schemes,
     )
     incremental = rebuild_through_context(
         warm_context,
@@ -154,5 +173,66 @@ def measure_repair(
         scheme_classes,
         params,
         label="incremental rebuild",
+        keep_schemes=keep_schemes,
     )
     return cold, incremental
+
+
+def measure_edit_repair(
+    graph: nx.Graph,
+    edit: "GraphEdit",
+    scheme_classes: Sequence[Type[RoutingScheme]],
+    params: Optional[SchemeParameters] = None,
+    warm_context: Optional[BuildContext] = None,
+    keep_schemes: bool = False,
+) -> Tuple[RepairMeasurement, RepairMeasurement, "EditReport"]:
+    """Cold vs incremental rebuild after a *real* topology edit.
+
+    Unlike :func:`measure_repair` (fail-and-fully-recover: the warm
+    context sees an unchanged content hash and reuses everything), this
+    applies ``edit`` through :meth:`BuildContext.apply_edit` — the graph
+    genuinely changes, the edit's dirty node set is computed, and the
+    incremental rebuild reconstructs only the artifact partitions that
+    intersect it.  The honest comparison for churn repair cost:
+    built-vs-reused counts are reported against the dirty set, not
+    against a topology that never really changed.
+
+    ``graph`` is mutated in place (it carries the edit afterwards).
+    Returns ``(cold, incremental, edit_report)`` where both rebuilds
+    describe the **post-edit** graph and are bit-identical by
+    construction (asserted in tests/test_churn.py).
+    """
+    if warm_context is None:
+        warm_context = BuildContext()
+        rebuild_through_context(
+            warm_context, graph, scheme_classes, params, label="prime"
+        )
+    edit_report = warm_context.apply_edit(graph, edit)
+    incremental = rebuild_through_context(
+        warm_context,
+        graph,
+        scheme_classes,
+        params,
+        label=f"incremental repair ({edit.describe()})",
+        keep_schemes=keep_schemes,
+    )
+    # Fold the metric-row splice performed inside apply_edit into the
+    # incremental counters — those rows are repair work too.
+    if edit_report.rows_rebuilt:
+        incremental.built["metric_row"] = (
+            incremental.built.get("metric_row", 0) + edit_report.rows_rebuilt
+        )
+    if edit_report.rows_reused:
+        incremental.reused["metric_row"] = (
+            incremental.reused.get("metric_row", 0) + edit_report.rows_reused
+        )
+    incremental.seconds += edit_report.seconds
+    cold = rebuild_through_context(
+        BuildContext(),
+        graph,
+        scheme_classes,
+        params,
+        label="cold rebuild",
+        keep_schemes=keep_schemes,
+    )
+    return cold, incremental, edit_report

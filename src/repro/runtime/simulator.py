@@ -27,7 +27,7 @@ import dataclasses
 import heapq
 import random
 import statistics
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.types import NodeId
 from repro.metric.graph_metric import GraphMetric
@@ -168,7 +168,10 @@ class TrafficSimulator:
         self._service_time = service_time
 
     def run(
-        self, demands: Iterable[Demand], trace: bool = False
+        self,
+        demands: Iterable[Demand],
+        trace: bool = False,
+        paths: Optional[Sequence[List[NodeId]]] = None,
     ) -> SimulationReport:
         """Simulate all demands to completion.
 
@@ -178,34 +181,55 @@ class TrafficSimulator:
                 every packet (``DeliveredPacket.trace``) by routing via
                 ``scheme.trace_route``; hop sequences are identical
                 either way.
+            paths: Optional precomputed *physical* hop sequence per
+                demand (consecutive entries must be graph edges),
+                bypassing the scheme entirely.  The churn driver uses
+                this to push the walks a :class:`ResilientRouter`
+                actually took — detours, truncated drops and all —
+                through the queueing model, which the scheme's own
+                ``route()`` against the intact metric could not
+                reproduce.  Mutually exclusive with ``trace``.
         """
         metric = self._metric
         # Precompute each packet's hop sequence from the scheme, and its
         # expansion into the physical edges it will actually occupy.
         packets: List[Tuple[Demand, List[NodeId], List[NodeId]]] = []
         traces: List[Optional[RouteTrace]] = []
-        for demand in demands:
-            if demand.source == demand.target:
-                packets.append(
-                    (demand, [demand.source], [demand.source])
-                )
-                traces.append(None)
-                continue
+        if paths is not None:
             if trace:
-                result, packet_trace = self._scheme.trace_route(
-                    demand.source, demand.target
+                raise ValueError("paths= and trace=True are exclusive")
+            demands = list(demands)
+            if len(paths) != len(demands):
+                raise ValueError(
+                    f"{len(paths)} paths for {len(demands)} demands"
                 )
-                traces.append(packet_trace)
-            else:
-                result = self._scheme.route(demand.source, demand.target)
+            for demand, given in zip(demands, paths):
+                walk = list(given) if given else [demand.source]
+                packets.append((demand, walk, walk))
                 traces.append(None)
-            packets.append(
-                (
-                    demand,
-                    result.path,
-                    expand_to_physical_path(metric, result.path),
+        else:
+            for demand in demands:
+                if demand.source == demand.target:
+                    packets.append(
+                        (demand, [demand.source], [demand.source])
+                    )
+                    traces.append(None)
+                    continue
+                if trace:
+                    result, packet_trace = self._scheme.trace_route(
+                        demand.source, demand.target
+                    )
+                    traces.append(packet_trace)
+                else:
+                    result = self._scheme.route(demand.source, demand.target)
+                    traces.append(None)
+                packets.append(
+                    (
+                        demand,
+                        result.path,
+                        expand_to_physical_path(metric, result.path),
+                    )
                 )
-            )
 
         # Event queue: (time, packet_index, hop_index), with hops
         # indexing the *physical* path — packets queue on, and occupy,

@@ -89,6 +89,13 @@ class RoutingScheme(abc.ABC):
     #: Human-readable scheme name used in experiment tables.
     name: str = "abstract"
 
+    #: Schemes that can rebuild themselves from a stashed pre-edit
+    #: instance plus a dirty node set set this to True and accept
+    #: ``_previous`` / ``_dirty`` keyword arguments in ``from_context``
+    #: (see ``BuildContext.apply_edit``).  The default is a full rebuild
+    #: — always correct, never reuses per-node table partitions.
+    supports_partial_rebuild: bool = False
+
     def __init__(
         self, metric: GraphMetric, params: Optional[SchemeParameters] = None
     ) -> None:

@@ -25,13 +25,14 @@ are bounded by the zooming-sequence geometry (Eqn. 2), giving stretch
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.bitcount import bits_for_id
 from repro.core.params import SchemeParameters
 from repro.core.types import NodeId, PreprocessingError, RouteFailure, RouteResult
 from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
+from repro.observability.trace import NULL_TRACER
 from repro.schemes.base import LabeledScheme
 
 #: A ring entry: (range_lo, range_hi, distance to the net point).  The
@@ -44,6 +45,7 @@ class NonScaleFreeLabeledScheme(LabeledScheme):
     """``(1+ε)``-stretch labeled routing with ``log Δ``-level tables."""
 
     name = "labeled non-scale-free (Lemma 3.1)"
+    supports_partial_rebuild = True
 
     def __init__(
         self,
@@ -64,24 +66,81 @@ class NonScaleFreeLabeledScheme(LabeledScheme):
         self._build_rings()
 
     @classmethod
-    def from_context(cls, context, metric, params=None, **kwargs):
+    def from_context(
+        cls, context, metric, params=None, _previous=None, _dirty=None, **kwargs
+    ):
         kwargs.setdefault("hierarchy", context.hierarchy(metric))
+        if _previous is not None and not kwargs.get("naming"):
+            return cls._rebuilt(
+                metric, kwargs["hierarchy"], _previous, _dirty
+            )
         return cls(metric, params, **kwargs)
 
+    def _build_ring_block(self, i: int, radius: float, x: NodeId) -> None:
+        """Materialize the ``(i, x)`` partition: x's entry in every ring
+        it appears in.  Reads only the hierarchy and x's distance row,
+        so the partition's dependency set is ``{x}``."""
+        lo, hi = self._hierarchy.range_of(x, i)
+        d = self._metric.distances_from(x)
+        for u in self._metric.ball(x, radius):
+            self._rings[u].setdefault(i, {})[x] = (lo, hi, float(d[u]))
+
     def _build_rings(self) -> None:
-        metric = self._metric
-        hierarchy = self._hierarchy
-        for i in hierarchy.levels:
+        blocks = 0
+        for i in self._hierarchy.levels:
             radius = (2.0**i) * self._params.ring_radius_factor
+            for x in self._hierarchy.net(i):
+                self._build_ring_block(i, radius, x)
+                blocks += 1
+        #: Partition accounting for BuildStats.fold (see BuildContext).
+        self.build_report: Dict[str, Tuple[int, int]] = {
+            "ring_block": (0, blocks)
+        }
+
+    @classmethod
+    def _rebuilt(
+        cls,
+        metric: GraphMetric,
+        hierarchy: NetHierarchy,
+        previous: "NonScaleFreeLabeledScheme",
+        dirty: FrozenSet[NodeId],
+    ) -> "NonScaleFreeLabeledScheme":
+        """Rebuild only the ring blocks of dirty net points.
+
+        Valid only when the hierarchy was *promoted* (same object as
+        the stashed scheme's — nets, labels, and subtree ranges are
+        bit-identical); otherwise ranges may have moved and everything
+        is rebuilt cold.
+        """
+        if (
+            hierarchy is not previous._hierarchy
+            or metric.n != previous._metric.n
+        ):
+            return cls(metric, previous._params, hierarchy=hierarchy)
+        fresh = object.__new__(cls)
+        fresh._metric = metric
+        fresh._params = previous._params
+        fresh._table_bits_cache = None
+        fresh._tracer = NULL_TRACER
+        fresh._hierarchy = hierarchy
+        fresh._rings = [{} for _ in metric.nodes]
+        reused = built = 0
+        for i in hierarchy.levels:
+            radius = (2.0**i) * previous._params.ring_radius_factor
             for x in hierarchy.net(i):
-                lo, hi = hierarchy.range_of(x, i)
-                d = metric.distances_from(x)
-                for u in metric.ball(x, radius):
-                    self._rings[u].setdefault(i, {})[x] = (
-                        lo,
-                        hi,
-                        float(d[u]),
-                    )
+                if x in dirty:
+                    fresh._build_ring_block(i, radius, x)
+                    built += 1
+                else:
+                    # Row x is clean: membership (ball of x) and stored
+                    # distances are unchanged; copy the block's entries.
+                    for u in metric.ball(x, radius):
+                        fresh._rings[u].setdefault(i, {})[x] = (
+                            previous._rings[u][i][x]
+                        )
+                    reused += 1
+        fresh.build_report = {"ring_block": (reused, built)}
+        return fresh
 
     # ------------------------------------------------------------------
 

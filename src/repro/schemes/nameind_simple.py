@@ -22,13 +22,14 @@ levels of search trees are exactly what Theorem 1.1 removes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.bitcount import BitCounter, bits_for_id
 from repro.core.params import SchemeParameters
 from repro.core.types import NodeId, RouteFailure, RouteResult
 from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
+from repro.observability.trace import NULL_TRACER
 from repro.schemes.base import LabeledScheme, NameIndependentScheme
 from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
 from repro.searchtree.tree import SearchTree
@@ -38,6 +39,7 @@ class SimpleNameIndependentScheme(NameIndependentScheme):
     """Theorem 1.4: ``(9+ε)`` stretch, ``log Δ``-dependent tables."""
 
     name = "name-independent simple (Theorem 1.4)"
+    supports_partial_rebuild = True
 
     def __init__(
         self,
@@ -57,30 +59,95 @@ class SimpleNameIndependentScheme(NameIndependentScheme):
         self._tree_bits: List[int] = self._account_trees()
 
     @classmethod
-    def from_context(cls, context, metric, params=None, **kwargs):
+    def from_context(
+        cls, context, metric, params=None, _previous=None, _dirty=None, **kwargs
+    ):
         if kwargs.get("underlying") is None:
             kwargs["underlying"] = context.scheme(
                 NonScaleFreeLabeledScheme, metric, params
+            )
+        if _previous is not None and not kwargs.get("naming"):
+            return cls._rebuilt(
+                metric, kwargs["underlying"], _previous, _dirty
             )
         return cls(metric, params, **kwargs)
 
     # ------------------------------------------------------------------
 
-    def _build_search_trees(self) -> None:
-        metric = self._metric
+    def _built_tree(self, i: int, x: NodeId) -> SearchTree:
+        """Build and populate one search tree ``T(x, 2^i/ε)``."""
         eps = self._params.epsilon
+        tree = SearchTree(self._metric, x, (2.0**i) / eps, eps)
+        pairs = {
+            self.name_of(v): self._underlying.routing_label(v)
+            for v in tree.nodes
+        }
+        tree.store(pairs)
+        return tree
+
+    def _build_search_trees(self) -> None:
+        built = 0
         for i in self._hierarchy.levels:
-            radius = (2.0**i) / eps
             level_trees: Dict[NodeId, SearchTree] = {}
             for x in self._hierarchy.net(i):
-                tree = SearchTree(metric, x, radius, eps)
-                pairs = {
-                    self.name_of(v): self._underlying.routing_label(v)
-                    for v in tree.nodes
-                }
-                tree.store(pairs)
-                level_trees[x] = tree
+                level_trees[x] = self._built_tree(i, x)
+                built += 1
             self._trees.append(level_trees)
+        #: Partition accounting for BuildStats.fold (see BuildContext).
+        self.build_report: Dict[str, Tuple[int, int]] = {
+            "search_tree": (0, built)
+        }
+
+    @classmethod
+    def _rebuilt(
+        cls,
+        metric: GraphMetric,
+        underlying: LabeledScheme,
+        previous: "SimpleNameIndependentScheme",
+        dirty: FrozenSet[NodeId],
+    ) -> "SimpleNameIndependentScheme":
+        """Rebuild only the search trees whose members have dirty rows.
+
+        A tree ``T(x, 2^i/ε)`` depends on the distance rows of its
+        members (greedy tiering, nearest-parent attachment, ball
+        membership through row x) and on the stored labels, which come
+        from the netting tree.  With the hierarchy promoted and the
+        member rows clean, the tree a cold build would produce is
+        bit-identical, so the old object is reused (rebased onto the
+        edited metric).
+        """
+        hierarchy = underlying.hierarchy
+        if (
+            hierarchy is not previous._hierarchy
+            or metric.n != previous._metric.n
+        ):
+            return cls(metric, previous._params, underlying=underlying)
+        fresh = object.__new__(cls)
+        fresh._metric = metric
+        fresh._params = previous._params
+        fresh._table_bits_cache = None
+        fresh._tracer = NULL_TRACER
+        fresh._name_of = previous._name_of
+        fresh._node_with_name = previous._node_with_name
+        fresh._underlying = underlying
+        fresh._hierarchy = hierarchy
+        fresh._trees = []
+        reused = built = 0
+        for i in hierarchy.levels:
+            level_trees: Dict[NodeId, SearchTree] = {}
+            for x in hierarchy.net(i):
+                old = previous._trees[i].get(x)
+                if old is not None and not (dirty & old.member_set):
+                    old.rebase(metric)
+                    level_trees[x] = old
+                    reused += 1
+                else:
+                    level_trees[x] = fresh._built_tree(i, x)
+                    built += 1
+            fresh._trees.append(level_trees)
+        fresh._tree_bits = fresh._account_trees()
+        fresh.build_report = {"search_tree": (reused, built)}
+        return fresh
 
     def _account_trees(self) -> List[int]:
         unit = bits_for_id(self._metric.n)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.bitcount import bits_for_id
 from repro.core.types import NodeId, PreprocessingError
@@ -172,6 +172,25 @@ class SearchTree:
     def nodes(self) -> List[NodeId]:
         """All tree nodes (= the ball members)."""
         return list(self._members)
+
+    @property
+    def member_set(self) -> FrozenSet[NodeId]:
+        """The tree's dependency set: structure, attachment, and lookup
+        costs all derive from the distance rows of these nodes."""
+        cached = self.__dict__.get("_member_set")
+        if cached is None:
+            cached = frozenset(self._members)
+            self._member_set = cached
+        return cached
+
+    def rebase(self, metric: GraphMetric) -> None:
+        """Point at an edited metric (churn pipeline).
+
+        Only valid when every member's distance row is unchanged — then
+        all distances the tree can ever read are identical and the tree
+        is bit-for-bit the one a cold build would produce.
+        """
+        self._metric = metric
 
     @property
     def size(self) -> int:

@@ -336,7 +336,7 @@ class TestIncrementalRepair:
     def test_incremental_rebuild_matches_cold(self, params):
         graph = grid_2d(5)
         cold, incremental = measure_repair(
-            graph, [SimpleNameIndependentScheme], params
+            graph, [SimpleNameIndependentScheme], params, keep_schemes=True
         )
         # The warm context reuses every substrate; the cold one builds all.
         assert incremental.built_total == 0
