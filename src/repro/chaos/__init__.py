@@ -1,0 +1,27 @@
+"""Unreliable-network serving layer.
+
+Three pieces (see DESIGN.md, "Channel fault model & end-to-end ARQ"):
+
+* :mod:`repro.chaos.channel` — :class:`ChaosNetwork`: seeded per-link
+  drop / jitter / duplication / reordering / header-corruption fault
+  processes over a metric or a ``DegradedNetwork`` overlay;
+* :mod:`repro.chaos.protocol` — :class:`ArqConfig`: the sender ARQ
+  (ack timeout, exponential backoff, retry cap) and header checksum
+  policy the ``TrafficSimulator`` runs in reliability mode;
+* :mod:`repro.chaos.audit` — table-integrity auditing and self-healing
+  (kept out of this package root on purpose: it imports the build
+  pipeline, which the channel model does not need — import
+  ``repro.chaos.audit`` directly, like ``repro.observability.catalog``).
+"""
+
+from repro.chaos.channel import ChaosConfig, ChaosNetwork, LinkFaults
+from repro.chaos.protocol import DEFAULT_ARQ, ArqConfig, TransportStatus
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosNetwork",
+    "LinkFaults",
+    "ArqConfig",
+    "DEFAULT_ARQ",
+    "TransportStatus",
+]

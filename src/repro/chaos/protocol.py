@@ -1,0 +1,64 @@
+"""End-to-end reliability protocol configuration (sender ARQ).
+
+The :class:`~repro.runtime.simulator.TrafficSimulator` implements the
+mechanics; this module holds the knobs.  With an :class:`ArqConfig`
+the simulator runs a stop-and-wait ARQ per packet:
+
+* every packet carries a sequence number (its injection index) and its
+  header is serialized through the scheme codec wrapped by
+  :func:`repro.runtime.headers.with_checksum` — corrupted headers are
+  *detected and dropped* at the receiving node instead of silently
+  misrouting;
+* the receiver acks each arriving copy and suppresses duplicates by
+  sequence number (duplicates are counted, not re-delivered);
+* the sender retransmits when the ack timeout expires, doubling (or
+  ``backoff``-ing) the timeout each attempt, and gives up after
+  ``max_retries`` retransmissions — surfacing the typed
+  :class:`~repro.core.types.TransportStatus` outcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.types import TransportStatus
+
+__all__ = ["ArqConfig", "TransportStatus"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArqConfig:
+    """Sender-side ARQ policy for the simulator's reliability mode."""
+
+    #: Ack timeout of the first attempt; ``None`` derives a per-packet
+    #: retransmission timeout from the packet's own round-trip time
+    #: (``2 x propagation + per-hop serialization slack``), the
+    #: textbook RTO seed.
+    ack_timeout: Optional[float] = None
+    #: Multiplicative timeout growth per retransmission (>= 1).
+    backoff: float = 2.0
+    #: Ceiling on the accumulated backoff multiplier (>= 1): the
+    #: timeout never exceeds ``ack_timeout * backoff_cap``, so a large
+    #: retry budget keeps retrying at a bounded cadence instead of
+    #: sleeping for exponentially long (the standard RTO cap).
+    backoff_cap: float = 64.0
+    #: Retransmission budget after the initial attempt (>= 0).
+    max_retries: int = 8
+    #: Width of the CRC appended to every header (see
+    #: :func:`repro.runtime.headers.with_checksum`).
+    checksum_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout is not None and self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive (or None)")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.backoff_cap < 1.0:
+            raise ValueError("backoff_cap must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+#: The default policy used by experiments and benchmarks.
+DEFAULT_ARQ = ArqConfig()

@@ -6,6 +6,7 @@ Usage::
     python -m repro table1 [--epsilon 0.5] [--pairs 300] [--jobs 4]
                            [--json] [--cache-dir .repro-cache] [--profile]
     python -m repro resilience [--pairs 100] [--jobs 4] [--json]
+    python -m repro chaos [--pairs 100] [--loss 0.05] [--jobs 4] [--json]
     python -m repro report [--output EXPERIMENTS.md] [--jobs 4]
                            [--provenance]
     python -m repro trace grid-8x8 nameind-sf 0 63 [--epsilon 0.5] [--json]
@@ -50,9 +51,14 @@ def _emit_profile(args: argparse.Namespace, context: BuildContext) -> None:
 def _registry_command(name: str) -> Callable[[argparse.Namespace], None]:
     def _cmd(args: argparse.Namespace) -> None:
         context = _context_from(args)
-        extra = (
-            {"edits": args.edits} if hasattr(args, "edits") else {}
-        )
+        # Per-command flags (churn --edits, chaos --loss) forward as
+        # extra kwargs; the registry drops them for runners that do
+        # not accept them.
+        extra = {
+            key: getattr(args, key)
+            for key in ("edits", "loss")
+            if getattr(args, key, None) is not None
+        }
         tables = run_experiment(
             name,
             epsilon=args.epsilon,
@@ -185,6 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=500,
                 help="total edits to commit across the churn stream",
+            )
+        if name == "chaos":
+            cmd.add_argument(
+                "--loss",
+                type=float,
+                default=None,
+                help=(
+                    "single loss rate instead of the default sweep "
+                    "(also sets the composed-regime channel loss)"
+                ),
             )
         if name == "report":
             cmd.add_argument("--output", default="EXPERIMENTS.md")

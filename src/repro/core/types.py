@@ -37,6 +37,29 @@ class DeliveryStatus(enum.Enum):
     LOOP_DETECTED = "loop-detected"
 
 
+class TransportStatus(enum.Enum):
+    """Typed end-to-end outcome of one packet under the unreliable
+    channel model (:mod:`repro.chaos`).
+
+    Where :class:`DeliveryStatus` describes what the *forwarding plane*
+    did to a single copy of a packet (stale tables, dead links),
+    ``TransportStatus`` describes what the *transport* achieved across
+    every copy and retransmission: either some copy reached the
+    destination, or the sender exhausted its retry budget, or a
+    corrupted header slipped past the checksum and the packet was
+    silently misrouted.
+    """
+
+    DELIVERED = "delivered"
+    #: The ARQ retry budget ran out (or, with ARQ off, the single
+    #: attempt was lost) before any copy arrived.
+    GAVE_UP = "gave-up"
+    #: A bit-flipped header passed validation (checksum collision, or
+    #: no checksum at all) and the copy was misrouted undetected —
+    #: the failure mode the header checksum exists to make rare.
+    CORRUPT_UNDETECTED = "corrupt-undetected"
+
+
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 

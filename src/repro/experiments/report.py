@@ -20,6 +20,7 @@ from repro.experiments import ablation, congestion, fig1, fig2, fig3
 from repro.experiments import related_work, relaxed, resilience, scalefree
 from repro.experiments import storage_audit, structures, sweeps
 from repro.experiments import table1, table2
+from repro.experiments import chaos as chaos_experiment
 from repro.experiments import churn as churn_experiment
 from repro.experiments.harness import ExperimentTable
 from repro.pipeline.context import BuildContext
@@ -326,6 +327,37 @@ def generate(
         "per-round staleness-stretch vs repair-throughput curves is\n"
         "recorded in BENCH_churn.json; single-edit repair locality is\n"
         "itemized in BENCH_resilience.json.\n"
+    )
+
+    e18 = chaos_experiment.run(
+        epsilon=0.5, pair_count=pair_count // 3, context=context, jobs=jobs
+    )
+    e18a = chaos_experiment.run_audit(epsilon=0.5, corrupt_count=4)
+    sections.append(
+        "## E18 — serving over an unreliable network (beyond the "
+        "paper)\n\n"
+        "The built tables are correct, but the channel is not: every\n"
+        "link drops, delays, duplicates, and occasionally bit-flips\n"
+        "headers under seeded per-link fault processes (drop rate as\n"
+        "shown, jitter up to 50% of the link weight, corruption 0.5%\n"
+        "per hop).  Each scheme serves the same demands twice — fail-\n"
+        "fast (one attempt, no acks) and reliable (per-packet CRC-8\n"
+        "header checksums, end-to-end acks, exponential-backoff\n"
+        "retransmission):\n\n"
+        + _block(e18) + "\n" + _block(e18a) +
+        "\n**Reading:** at 5% per-link loss, fail-fast delivery decays\n"
+        "with path length (long Theorem-1.4 routes suffer most), while\n"
+        "ARQ restores ≥ 99% delivery for every scheme at the cost of\n"
+        "the retransmission overhead shown — routing tables built for\n"
+        "a perfect network serve an imperfect one with a transport\n"
+        "wrapper, no table changes.  Every corrupted header is caught\n"
+        "by its checksum (zero undetected), and the audit table shows\n"
+        "the other half of the story: deliberately corrupted routing\n"
+        "tables are detected row-by-row by digest, quarantined, healed\n"
+        "through the warm BuildContext, and verified bit-identical to\n"
+        "a cold rebuild.  The full loss sweep, the composed regime\n"
+        "(chaos on top of 10% failed links with resilient re-routing),\n"
+        "and wall-clock numbers live in BENCH_chaos.json.\n"
     )
 
     if provenance:

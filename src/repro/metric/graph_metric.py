@@ -241,6 +241,62 @@ class GraphMetric:
         return new, dirty_set
 
     # ------------------------------------------------------------------
+    # Table-integrity auditing (chaos subsystem)
+    # ------------------------------------------------------------------
+
+    def row_digest(self, u: NodeId) -> str:
+        """Checksum of node ``u``'s routing-table basis.
+
+        Every scheme ultimately forwards through this metric's per-node
+        rows (``_dist[u]``/``_pred[u]`` drive ``next_hop``), so a
+        digest over those rows *is* a checksum of node ``u``'s stored
+        table state.  Used by :mod:`repro.chaos.audit` to detect
+        in-memory corruption.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self._dist[u]).tobytes())
+        digest.update(np.ascontiguousarray(self._pred[u]).tobytes())
+        return digest.hexdigest()
+
+    def splice_rows(self, sources: Sequence[NodeId]) -> None:
+        """Recompute and splice the APSP rows of ``sources``, in place.
+
+        The churn repair primitive of :meth:`updated`, exposed for
+        integrity healing: each source's distances and predecessors are
+        re-derived from the current graph by the same per-row Dijkstra
+        a cold build runs, so the spliced rows are bit-identical to a
+        from-scratch construction (the property :meth:`updated` already
+        relies on when it downgrades unchanged candidate rows).  The
+        sources' lazy per-row caches are invalidated.
+        """
+        rows = sorted({int(s) for s in sources})
+        if not rows:
+            return
+        if not all(0 <= s < self._n for s in rows):
+            raise PreprocessingError(
+                f"sources must be node ids in [0, {self._n})"
+            )
+        index = np.asarray(rows, dtype=np.int64)
+        sub_dist, sub_pred = dijkstra(
+            self._csr(),
+            directed=False,
+            indices=index,
+            return_predecessors=True,
+        )
+        if not np.all(np.isfinite(sub_dist)):
+            raise PreprocessingError("graph must be connected")
+        self._dist[index] = sub_dist
+        self._pred[index] = sub_pred
+        # Corrupted entries may have inflated the cached diameter.
+        self._diameter = float(self._dist.max()) if self._n > 1 else 1.0
+        for s in rows:
+            self._order_cache.pop(s, None)
+            self._sorted_dist_cache.pop(s, None)
+            self._next_hop_cache.pop(s, None)
+
+    # ------------------------------------------------------------------
     # Basic metric queries
     # ------------------------------------------------------------------
 

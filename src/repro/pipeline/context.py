@@ -33,7 +33,7 @@ import os
 import pickle
 import time
 import weakref
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Type
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Type
 
 import networkx as nx
 
@@ -719,6 +719,26 @@ class BuildContext:
             full_rebuild=full_rebuild,
             seconds=time.perf_counter() - start,
         )
+
+    def repair_rows(self, metric: GraphMetric, nodes: Iterable[NodeId]) -> int:
+        """Re-fetch corrupted table rows through the row-splice path.
+
+        The table-integrity auditor (:mod:`repro.chaos.audit`) detects
+        in-memory corruption of a metric's per-node rows; this method
+        heals the quarantined nodes with the same per-row Dijkstra
+        splice :meth:`apply_edit` uses for churn repair — the repaired
+        rows are bit-identical to a cold rebuild — and accounts the
+        work in this context's build stats and profile.
+
+        Returns the number of rows respliced.
+        """
+        dirty = sorted({int(v) for v in nodes})
+        if not dirty:
+            return 0
+        with self.profile.timed("build", "metric"):
+            metric.splice_rows(dirty)
+        self.stats.fold({"metric_row": (metric.n - len(dirty), len(dirty))})
+        return len(dirty)
 
     # -- observability --------------------------------------------------
 

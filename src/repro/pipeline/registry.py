@@ -138,6 +138,12 @@ _SPECS = [
         "incremental maintenance under continuous edits and load",
         "repro.experiments.churn",
     ),
+    ExperimentSpec(
+        "chaos",
+        "delivery under lossy links, ARQ recovery, and table healing",
+        "repro.experiments.chaos",
+        funcs=("run", "run_degraded", "run_audit"),
+    ),
 ]
 
 REGISTRY: Dict[str, ExperimentSpec] = {spec.name: spec for spec in _SPECS}

@@ -8,7 +8,25 @@ stop) rather than by formula.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List
+
+
+def flip_bits(data: bytes, positions: Iterable[int]) -> bytes:
+    """Return ``data`` with the given MSB-first bit positions inverted.
+
+    Position ``p`` addresses the same bit that :class:`BitReader` would
+    surface as the ``p``-th bit of the stream; the chaos channel uses
+    this to model in-flight corruption of encoded headers.
+    """
+    out = bytearray(data)
+    limit = 8 * len(out)
+    for position in positions:
+        if not 0 <= position < limit:
+            raise ValueError(
+                f"bit position {position} outside [0, {limit})"
+            )
+        out[position // 8] ^= 1 << (7 - position % 8)
+    return bytes(out)
 
 
 class BitWriter:

@@ -19,6 +19,17 @@ module provides a store-and-forward, discrete-event simulator:
   search-tree hot spots around net centers) are measurable.
 
 The event queue is deterministic: ties are broken by injection order.
+
+Unreliable channels (:mod:`repro.chaos`): passing ``chaos=`` wraps the
+run in seeded per-link fault processes (drop, jitter, duplication,
+reordering, header corruption), and ``arq=`` additionally turns on the
+end-to-end reliability protocol — per-packet sequence numbers,
+checksummed headers, receiver duplicate suppression, and sender
+retransmission with exponential backoff.  Every packet then terminates
+with a typed :class:`~repro.core.types.TransportStatus` recorded in
+:attr:`SimulationReport.outcomes`.  With every fault rate at zero and
+ARQ off, the chaos event loop is *bit-identical* to the plain one
+(property-tested across all schemes).
 """
 
 from __future__ import annotations
@@ -27,13 +38,39 @@ import dataclasses
 import heapq
 import random
 import statistics
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.types import NodeId
+from repro.core.types import NodeId, TransportStatus
 from repro.metric.graph_metric import GraphMetric
-from repro.observability.trace import RouteTrace
+from repro.observability.trace import RouteTrace, TraceEvent
 from repro.pipeline.sampling import draw_pair
+from repro.runtime.bitstream import flip_bits
+from repro.runtime.headers import (
+    ChecksumCodec,
+    FieldSpec,
+    HeaderCodec,
+)
 from repro.schemes.base import RoutingScheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
+    # cycle: resilience.router imports this module at import time).
+    from repro.chaos.channel import ChaosNetwork
+    from repro.chaos.protocol import ArqConfig
+
+#: Wire name of the reliability-mode sequence-number field.
+TRANSPORT_SEQ_FIELD = "transport_seq"
+#: Width of the sequence-number field (seq = packet index mod 2^16).
+TRANSPORT_SEQ_BITS = 16
+
+# Event kinds of the chaos loop, ordered so that at an equal
+# (time, packet) a data hop precedes an ack, which precedes a timer —
+# an ack arriving exactly at the timeout cancels the retransmission.
+_HOP, _ACK, _TIMER = 0, 1, 2
+
+#: Duplication spawns independently forwarded copies; this caps the
+#: branching process per packet (deterministically) so a pathological
+#: duplication rate cannot melt the event heap.
+_MAX_FLIGHTS_PER_PACKET = 32
 
 
 def expand_to_physical_path(
@@ -102,18 +139,118 @@ class DeliveredPacket:
 
 
 @dataclasses.dataclass
+class PacketOutcome:
+    """End-to-end transport record of one offered packet (chaos mode).
+
+    One entry per *demand* — delivered or not — where
+    :class:`DeliveredPacket` only exists for arrivals.  ``attempts``
+    counts sender transmissions of the whole path (1 = no retry);
+    ``transmissions`` counts individual link crossings, including
+    retransmissions and duplicated copies.
+    """
+
+    demand: Demand
+    #: Per-packet sequence number (injection index; carried on the
+    #: wire mod 2^16 in reliability mode).
+    seq: int
+    status: TransportStatus
+    attempts: int
+    transmissions: int
+    #: Physical links one clean traversal of this packet's path needs.
+    path_links: int
+    delivered_at: Optional[float]
+    #: Extra copies that reached the destination (suppressed by the
+    #: receiver in reliability mode, but counted).
+    duplicates: int
+    #: Copies discarded because the header checksum caught a bit flip.
+    corrupt_detected: int
+    #: Copies whose corrupted header passed validation (no checksum,
+    #: or a CRC collision) and were silently misrouted.
+    corrupt_undetected: int
+
+
+@dataclasses.dataclass
 class SimulationReport:
     """Aggregate results of one simulation run.
 
     All statistics are well-defined on an empty run (zero packets):
     means and maxima report 0.0 rather than raising.
+
+    Chaos-mode runs additionally carry :attr:`outcomes` (one
+    :class:`PacketOutcome` per offered demand), actual per-link
+    transmission counts, and the simulated-time horizon; the
+    reliability metrics below derive from those.
     """
 
     packets: List[DeliveredPacket]
+    #: Per-demand transport outcomes; ``None`` for plain runs.
+    outcomes: Optional[List[PacketOutcome]] = None
+    #: Actual transmissions per directed link, including retries and
+    #: duplicates; ``None`` for plain runs.
+    link_transmissions: Optional[Dict[Tuple[NodeId, NodeId], int]] = None
+    #: Simulated time of the last event processed (0.0 if none).
+    horizon: float = 0.0
 
     @property
     def delivered(self) -> int:
         return len(self.packets)
+
+    @property
+    def offered(self) -> int:
+        """Demands injected (equals ``delivered`` on plain runs)."""
+        if self.outcomes is not None:
+            return len(self.outcomes)
+        return len(self.packets)
+
+    def delivery_rate(self) -> float:
+        return self.delivered / self.offered if self.offered else 1.0
+
+    def status_counts(self) -> Dict[str, int]:
+        """Offered packets per :class:`TransportStatus` value."""
+        counts = {status.value: 0 for status in TransportStatus}
+        for outcome in self.outcomes or []:
+            counts[outcome.status.value] += 1
+        return counts
+
+    def retransmissions(self) -> int:
+        """Sender retransmissions across all packets (attempts - 1)."""
+        return sum(max(0, o.attempts - 1) for o in self.outcomes or [])
+
+    def total_transmissions(self) -> int:
+        """Link crossings charged, incl. retries and duplicates."""
+        return sum(o.transmissions for o in self.outcomes or [])
+
+    def retransmission_overhead(self) -> float:
+        """Extra link crossings per useful one: ``tx / ideal - 1``.
+
+        ``ideal`` is the crossings one clean traversal of every
+        *delivered* packet's path needs; 0.0 means every transmission
+        was useful.
+        """
+        ideal = sum(
+            o.path_links
+            for o in self.outcomes or []
+            if o.status is TransportStatus.DELIVERED
+        )
+        if ideal == 0:
+            return 0.0
+        return self.total_transmissions() / ideal - 1.0
+
+    def duplicate_deliveries(self) -> int:
+        """Extra copies that arrived (suppressed, but counted)."""
+        return sum(o.duplicates for o in self.outcomes or [])
+
+    def corrupt_detected(self) -> int:
+        return sum(o.corrupt_detected for o in self.outcomes or [])
+
+    def corrupt_undetected(self) -> int:
+        return sum(o.corrupt_undetected for o in self.outcomes or [])
+
+    def goodput(self) -> float:
+        """Delivered packets per simulated time unit."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.delivered / self.horizon
 
     def mean_latency(self) -> float:
         if not self.packets:
@@ -138,12 +275,19 @@ class SimulationReport:
         """Most-occupied directed *physical* links.
 
         Virtual hops are expanded to the underlying graph edges before
-        counting, so shared physical edges are not under-counted.
+        counting, so shared physical edges are not under-counted.  On
+        chaos-mode runs the count is actual transmissions (retries and
+        duplicates included); on plain runs it is delivered-path
+        occupancy.  The ranking is fully deterministic: equal counts
+        tie-break by ascending link id, never by dict or heap order.
         """
-        counts: Dict[Tuple[NodeId, NodeId], int] = {}
-        for packet in self.packets:
-            for a, b in packet.links:
-                counts[(a, b)] = counts.get((a, b), 0) + 1
+        if self.link_transmissions is not None:
+            counts = dict(self.link_transmissions)
+        else:
+            counts: Dict[Tuple[NodeId, NodeId], int] = {}
+            for packet in self.packets:
+                for a, b in packet.links:
+                    counts[(a, b)] = counts.get((a, b), 0) + 1
         ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
         return ranked[:top]
 
@@ -172,6 +316,8 @@ class TrafficSimulator:
         demands: Iterable[Demand],
         trace: bool = False,
         paths: Optional[Sequence[List[NodeId]]] = None,
+        chaos: Optional["ChaosNetwork"] = None,
+        arq: Optional["ArqConfig"] = None,
     ) -> SimulationReport:
         """Simulate all demands to completion.
 
@@ -180,7 +326,10 @@ class TrafficSimulator:
             trace: When ``True``, record a route-decision trace for
                 every packet (``DeliveredPacket.trace``) by routing via
                 ``scheme.trace_route``; hop sequences are identical
-                either way.
+                either way.  Chaos-mode transport events (drops,
+                retransmissions, corruption) are appended to the trace
+                with zero-cost, zero-node events, so replay still
+                reproduces the route.
             paths: Optional precomputed *physical* hop sequence per
                 demand (consecutive entries must be graph edges),
                 bypassing the scheme entirely.  The churn driver uses
@@ -188,9 +337,29 @@ class TrafficSimulator:
                 actually took — detours, truncated drops and all —
                 through the queueing model, which the scheme's own
                 ``route()`` against the intact metric could not
-                reproduce.  Mutually exclusive with ``trace``.
+                reproduce.  Mutually exclusive with ``trace``.  Under
+                ``chaos=``, a walk that ends anywhere other than the
+                demand's target counts as undelivered (the routing
+                plane dropped it; the transport never completed).
+            chaos: Optional :class:`~repro.chaos.channel.ChaosNetwork`
+                injecting seeded per-link faults.  Link propagation is
+                charged from the chaos network (its wrapped metric or
+                degraded overlay), and the run's report carries
+                per-demand :class:`PacketOutcome` records.
+            arq: Optional :class:`~repro.chaos.protocol.ArqConfig`
+                switching on the end-to-end reliability protocol
+                (sequence numbers, checksummed headers, duplicate
+                suppression, retransmission with backoff).  Implies a
+                faultless chaos channel when ``chaos`` is omitted.
         """
         metric = self._metric
+        if arq is not None and chaos is None:
+            # Imported lazily: the runtime layer must not depend on the
+            # chaos package at import time (resilience.router imports
+            # this module while it is still initializing).
+            from repro.chaos.channel import ChaosNetwork
+
+            chaos = ChaosNetwork(metric)
         # Precompute each packet's hop sequence from the scheme, and its
         # expansion into the physical edges it will actually occupy.
         packets: List[Tuple[Demand, List[NodeId], List[NodeId]]] = []
@@ -230,6 +399,9 @@ class TrafficSimulator:
                         expand_to_physical_path(metric, result.path),
                     )
                 )
+
+        if chaos is not None:
+            return self._run_chaos(packets, traces, chaos, arq)
 
         # Event queue: (time, packet_index, hop_index), with hops
         # indexing the *physical* path — packets queue on, and occupy,
@@ -280,6 +452,346 @@ class TrafficSimulator:
         for packet, packet_trace in zip(report_packets, traces):
             packet.trace = packet_trace
         return SimulationReport(packets=report_packets)
+
+    # -- unreliable-channel mode ---------------------------------------
+
+    def _transport_codec(
+        self, chaos: "ChaosNetwork", arq: Optional["ArqConfig"]
+    ) -> Optional[HeaderCodec]:
+        """The on-wire codec for this run, or ``None`` if headers are
+        irrelevant (no corruption process and no reliability mode).
+
+        In reliability mode the scheme codec is extended with the
+        transport sequence number and a trailing CRC
+        (:class:`~repro.runtime.headers.ChecksumCodec`); with ARQ off
+        the raw scheme codec is used — corruption then has nothing to
+        check against and goes undetected.
+        """
+        if arq is None and chaos.config.corruption == 0.0:
+            return None
+        codec_factory = getattr(self._scheme, "header_codec", None)
+        if codec_factory is None:
+            raise ValueError(
+                f"scheme {self._scheme.name!r} has no header_codec(); "
+                "header corruption / reliability mode needs a wire format"
+            )
+        codec = codec_factory()
+        if arq is None:
+            return codec
+        return ChecksumCodec(
+            codec.fields
+            + [FieldSpec(TRANSPORT_SEQ_FIELD, TRANSPORT_SEQ_BITS)],
+            arq.checksum_bits,
+        )
+
+    def _header_values(self, target: NodeId, seq: int) -> Dict[str, int]:
+        """Representative header contents for one packet.
+
+        The transport treats the header as opaque bits — only its size
+        and checksum matter to the fault model — so scheme fields are
+        filled with the natural value (label / name) reduced into the
+        field width, and fields the scheme fills hop-by-hop stay 0.
+        """
+        scheme = self._scheme
+        values: Dict[str, int] = {TRANSPORT_SEQ_FIELD: seq}
+        if hasattr(scheme, "routing_label"):
+            values["target_label"] = int(scheme.routing_label(target))
+        if hasattr(scheme, "name_of"):
+            values["target_name"] = int(scheme.name_of(target))
+        return values
+
+    def _run_chaos(
+        self,
+        packets: List[Tuple[Demand, List[NodeId], List[NodeId]]],
+        traces: List[Optional[RouteTrace]],
+        chaos: "ChaosNetwork",
+        arq: Optional["ArqConfig"],
+    ) -> SimulationReport:
+        """Event loop under per-link faults and (optionally) sender ARQ.
+
+        The degenerate case — every fault rate zero, ``arq=None`` — is
+        bit-identical to the plain loop in :meth:`run`: one flight per
+        packet, flight ids assigned in injection order, and event
+        tuples ``(time, packet, kind, flight, hop)`` that collapse to
+        the plain ``(time, packet, hop)`` ordering because ``kind`` and
+        ``flight`` are then constant per packet.  (Property-tested in
+        tests/test_chaos.py across every scheme.)
+        """
+        service = self._service_time
+        reliability = arq is not None
+        codec = self._transport_codec(chaos, arq)
+        checksummed = isinstance(codec, ChecksumCodec)
+
+        # Per-packet precomputation: clean-path propagation (charged
+        # from the chaos network — the wrapped metric or degraded
+        # overlay) and the encoded wire header corruption flips bits of.
+        propagation: List[float] = []
+        headers: List[Optional[Tuple[bytes, int]]] = []
+        for index, (demand, _, physical) in enumerate(packets):
+            propagation.append(
+                sum(
+                    chaos.distance(a, b)
+                    for a, b in zip(physical, physical[1:])
+                )
+            )
+            if codec is not None and len(physical) > 1:
+                values = self._header_values(
+                    demand.target, index % (1 << TRANSPORT_SEQ_BITS)
+                )
+                clamped = {
+                    f.name: (values.get(f.name, 0) % (1 << f.width))
+                    for f in codec.fields
+                    if f.width > 0
+                }
+                headers.append(codec.encode(clamped))
+            else:
+                headers.append(None)
+
+        states = [_PacketState() for _ in packets]
+        # Flight bookkeeping: a flight is one independently forwarded
+        # copy (initial attempt, retransmission, or duplicate).  Ids
+        # are assigned in creation order, which the deterministic event
+        # loop makes deterministic in turn.
+        flight_packet: List[int] = []
+        flight_queueing: List[float] = []
+
+        events: List[Tuple[float, int, int, int, int]] = []
+        link_free_at: Dict[Tuple[NodeId, NodeId], float] = {}
+        link_tx: Dict[Tuple[NodeId, NodeId], int] = {}
+        horizon = 0.0
+
+        def retransmit_timeout(index: int) -> float:
+            if arq.ack_timeout is not None:
+                return arq.ack_timeout
+            # Textbook RTO seed: twice the packet's own no-queueing
+            # round-trip (forward serialization + propagation, plus the
+            # propagation-only ack), with a constant floor.
+            _, _, physical = packets[index]
+            links = len(physical) - 1
+            rtt = links * service + 2.0 * propagation[index]
+            return 2.0 * rtt + 1.0
+
+        def launch(index: int, at: float, first: bool) -> None:
+            state = states[index]
+            state.attempts += 1
+            state.flights += 1
+            fid = len(flight_packet)
+            flight_packet.append(index)
+            flight_queueing.append(0.0)
+            heapq.heappush(events, (at, index, _HOP, fid, 0))
+            if reliability:
+                delay = retransmit_timeout(index) * min(
+                    arq.backoff ** (state.attempts - 1), arq.backoff_cap
+                )
+                heapq.heappush(
+                    events, (at + delay, index, _TIMER, state.attempts - 1, 0)
+                )
+            packet_trace = traces[index]
+            if packet_trace is not None and not first:
+                packet_trace.events.append(
+                    TraceEvent(
+                        node=packets[index][0].source,
+                        phase="retransmit",
+                        entry=(
+                            f"arq: attempt {state.attempts} after "
+                            "ack timeout"
+                        ),
+                    )
+                )
+
+        for index, (demand, _, physical) in enumerate(packets):
+            if len(physical) == 1:
+                # Self-delivery (source == target): delivered at
+                # injection, exactly like the plain loop; a truncated
+                # single-node walk to a different target stays
+                # undelivered.
+                state = states[index]
+                state.attempts = 1
+                if physical[0] == demand.target:
+                    state.delivered_at = demand.inject_at
+                horizon = max(horizon, demand.inject_at)
+                continue
+            launch(index, demand.inject_at, first=True)
+
+        while events:
+            now, index, kind, s1, s2 = heapq.heappop(events)
+            horizon = max(horizon, now)
+            state = states[index]
+            demand, _, physical = packets[index]
+            if kind == _ACK:
+                state.acked = True
+                continue
+            if kind == _TIMER:
+                if state.acked:
+                    continue
+                if state.attempts < 1 + arq.max_retries:
+                    launch(index, now, first=False)
+                else:
+                    state.gave_up = True
+                continue
+            fid, hop = s1, s2
+            if hop == len(physical) - 1:
+                if physical[-1] != demand.target:
+                    continue  # truncated walk: routing dropped it
+                if state.delivered_at is None:
+                    state.delivered_at = now
+                    state.delivered_queueing = flight_queueing[fid]
+                else:
+                    # Receiver duplicate suppression by sequence
+                    # number: counted, not re-delivered.
+                    state.duplicates += 1
+                if reliability:
+                    links = len(physical) - 1
+                    lost = chaos.ack_dropped(index, state.acks_sent, links)
+                    state.acks_sent += 1
+                    if not lost:
+                        heapq.heappush(
+                            events,
+                            (
+                                now + propagation[index],
+                                index,
+                                _ACK,
+                                state.acks_sent,
+                                0,
+                            ),
+                        )
+                continue
+            a, b = physical[hop], physical[hop + 1]
+            free_at = link_free_at.get((a, b), now)
+            start = max(now, free_at)
+            flight_queueing[fid] += start - now
+            link_free_at[(a, b)] = start + service
+            state.transmissions += 1
+            link_tx[(a, b)] = link_tx.get((a, b), 0) + 1
+            header = headers[index]
+            faults = chaos.link_faults(
+                index, fid, hop, header_bits=header[1] if header else 0
+            )
+            arrival = start + service + chaos.distance(a, b) + faults.extra_delay
+            horizon = max(horizon, arrival)
+            packet_trace = traces[index]
+            if faults.dropped:
+                if packet_trace is not None:
+                    packet_trace.events.append(
+                        TraceEvent(
+                            node=a,
+                            phase="drop",
+                            entry=f"chaos: transmission {a}->{b} lost",
+                        )
+                    )
+                continue
+            if faults.corrupt_bits:
+                # Corruption is resolved at the receiving node: a
+                # checksummed header is verified and the copy discarded
+                # on mismatch (ARQ recovers it); a clean verify of a
+                # flipped header — CRC collision, or no checksum at all
+                # — means the copy is silently misrouted and lost.
+                data, bit_length = header
+                flipped = flip_bits(data, faults.corrupt_bits)
+                detected = checksummed and not codec.verify(
+                    flipped, bit_length
+                )
+                if detected:
+                    state.corrupt_detected += 1
+                else:
+                    state.corrupt_undetected += 1
+                if packet_trace is not None:
+                    packet_trace.events.append(
+                        TraceEvent(
+                            node=b,
+                            phase="corrupt",
+                            entry=(
+                                "chaos: header bits "
+                                f"{list(faults.corrupt_bits)} flipped "
+                                f"{a}->{b}: "
+                                + (
+                                    "detected by checksum, dropped"
+                                    if detected
+                                    else "undetected, misrouted"
+                                )
+                            ),
+                        )
+                    )
+                continue
+            if (
+                faults.duplicated
+                and state.flights < _MAX_FLIGHTS_PER_PACKET
+            ):
+                state.flights += 1
+                dup = len(flight_packet)
+                flight_packet.append(index)
+                flight_queueing.append(flight_queueing[fid])
+                heapq.heappush(
+                    events,
+                    (
+                        arrival + chaos.config.duplicate_lag,
+                        index,
+                        _HOP,
+                        dup,
+                        hop + 1,
+                    ),
+                )
+            heapq.heappush(events, (arrival, index, _HOP, fid, hop + 1))
+
+        report_packets: List[DeliveredPacket] = []
+        outcomes: List[PacketOutcome] = []
+        for index, (demand, path, physical) in enumerate(packets):
+            state = states[index]
+            if state.delivered_at is not None:
+                status = TransportStatus.DELIVERED
+            elif state.corrupt_undetected > 0:
+                status = TransportStatus.CORRUPT_UNDETECTED
+            else:
+                status = TransportStatus.GAVE_UP
+            outcomes.append(
+                PacketOutcome(
+                    demand=demand,
+                    seq=index,
+                    status=status,
+                    attempts=max(1, state.attempts),
+                    transmissions=state.transmissions,
+                    path_links=max(0, len(physical) - 1),
+                    delivered_at=state.delivered_at,
+                    duplicates=state.duplicates,
+                    corrupt_detected=state.corrupt_detected,
+                    corrupt_undetected=state.corrupt_undetected,
+                )
+            )
+            if state.delivered_at is None:
+                continue
+            packet = DeliveredPacket(
+                demand=demand,
+                path=path,
+                delivered_at=float(state.delivered_at),
+                propagation=propagation[index],
+                queueing=state.delivered_queueing,
+                physical_path=physical,
+            )
+            packet.trace = traces[index]
+            report_packets.append(packet)
+        return SimulationReport(
+            packets=report_packets,
+            outcomes=outcomes,
+            link_transmissions=link_tx,
+            horizon=horizon,
+        )
+
+
+@dataclasses.dataclass
+class _PacketState:
+    """Mutable transport state of one offered packet (chaos loop)."""
+
+    attempts: int = 0
+    flights: int = 0
+    acked: bool = False
+    gave_up: bool = False
+    delivered_at: Optional[float] = None
+    delivered_queueing: float = 0.0
+    duplicates: int = 0
+    corrupt_detected: int = 0
+    corrupt_undetected: int = 0
+    transmissions: int = 0
+    acks_sent: int = 0
 
 
 def uniform_demands(

@@ -86,5 +86,11 @@ class ShortestPathScheme(NameIndependentScheme):
         unit = bits_for_id(self._metric.n)
         return (self._metric.n - 1) * 2 * unit  # (name, next hop) entries
 
+    def header_codec(self):
+        """Bit-exact codec: the packet carries only the destination name."""
+        from repro.runtime.headers import shortest_path_codec
+
+        return shortest_path_codec(self._metric)
+
     def header_bits(self) -> int:
         return bits_for_id(self._metric.n)

@@ -20,6 +20,13 @@ class TestParser:
         args = parser.parse_args(["report", "--output", "x.md"])
         assert args.output == "x.md"
 
+    def test_chaos_registered_with_loss_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["chaos", "--loss", "0.1", "--pairs", "5"])
+        assert args.loss == 0.1
+        # Default is None: the experiment runs its standard sweep.
+        assert parser.parse_args(["chaos"]).loss is None
+
 
 class TestMain:
     def test_no_command_lists(self, capsys):

@@ -236,3 +236,38 @@ class TestStructuresAudit:
         assert row[2] is True          # Lemma 2.3 holds
         assert row[3] <= row[4] + 1e-9  # height within (1+eps) r
         assert row[5] <= row[6]        # H-links within 4 log n
+
+
+class TestChaosExperiment:
+    def test_sweep_regimes_on_tiny_suite(self):
+        from repro.experiments import chaos
+
+        result = chaos.run(
+            pair_count=30, losses=(0.0, 0.3), suite=TINY_SUITE
+        )
+        # six schemes x two losses x two regimes
+        assert len(result.rows) == 6 * 2 * 2
+        by_key = {
+            (r[1], r[2], r[3]): r for r in result.rows
+        }
+        for _, label in chaos.SCHEME_LINEUP:
+            # Heavy loss without ARQ loses packets; ARQ recovers more.
+            failfast = by_key[(label, 0.3, "off")]
+            reliable = by_key[(label, 0.3, "on")]
+            assert failfast[5] < 1.0
+            assert reliable[5] > failfast[5]
+
+    def test_loss_flag_collapses_sweep(self):
+        from repro.experiments import chaos
+
+        result = chaos.run(pair_count=10, loss=0.1, suite=TINY_SUITE)
+        assert {r[2] for r in result.rows} == {0.1}
+
+    def test_audit_heals_on_tiny_suite(self):
+        from repro.experiments import chaos
+
+        result = chaos.run_audit(corrupt_count=3, suite=TINY_SUITE)
+        for row in result.rows:
+            assert row[4] == 1.0      # detection rate
+            assert row[6] == "yes"    # clean after healing
+            assert row[7] > 0         # cold-identical pairs compared

@@ -1,21 +1,32 @@
 """Tests for bit streams and header codecs (repro.runtime)."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime.bitstream import BitReader, BitWriter
+from repro.runtime.bitstream import BitReader, BitWriter, flip_bits
 from repro.runtime.headers import (
+    CHECKSUM_FIELD,
+    ChecksumCodec,
     FieldSpec,
     HeaderCodec,
+    HeaderCorruptionError,
+    cowen_landmark_codec,
+    crc_of_bits,
     labeled_scalefree_codec,
     labeled_simple_codec,
     name_independent_codec,
+    shortest_path_codec,
+    with_checksum,
 )
+from repro.schemes.cowen_landmark import CowenLandmarkScheme
 from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
 from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+from repro.schemes.shortest_path import ShortestPathScheme
 
 
 class TestBitStream:
@@ -150,6 +161,14 @@ class TestSchemeCodecs:
         data, bits = codec.encode(values)
         assert codec.decode(data, bits) == values
 
+    def test_baseline_codecs_cover_all_schemes(self, grid_metric, params):
+        """Every scheme exposes a codec sized like its header claim."""
+        for scheme in (
+            ShortestPathScheme(grid_metric, params),
+            CowenLandmarkScheme(grid_metric, params),
+        ):
+            assert scheme.header_bits() == scheme.header_codec().total_bits
+
     def test_heavy_path_labels_widen_header(self, grid_metric, params):
         from repro.trees.heavy_path import HeavyPathRouter
 
@@ -160,3 +179,107 @@ class TestSchemeCodecs:
         # FG-style labels are log^2-ish, interval labels log n: the
         # header codec reflects the substrate choice.
         assert heavy.header_bits() >= interval.header_bits()
+
+
+def _all_scheme_codecs(metric):
+    """One codec per scheme family (the whole wire-format catalog)."""
+    return [
+        shortest_path_codec(metric),
+        cowen_landmark_codec(metric),
+        labeled_simple_codec(metric),
+        labeled_scalefree_codec(metric),
+        name_independent_codec(metric, labeled_simple_codec(metric)),
+        name_independent_codec(metric, labeled_scalefree_codec(metric)),
+    ]
+
+
+def _max_values(codec):
+    return {f.name: (1 << f.width) - 1 for f in codec.fields if f.width}
+
+
+class TestChecksumCodec:
+    def test_round_trip_every_scheme_codec(self, grid_metric):
+        """Checksummed headers round-trip for all six scheme codecs."""
+        for base in _all_scheme_codecs(grid_metric):
+            for width in (8, 16):
+                codec = with_checksum(base, width)
+                assert codec.total_bits == base.total_bits + width
+                assert codec.payload_bits == base.total_bits
+                values = _max_values(base)
+                data, bits = codec.encode(values)
+                assert bits == codec.total_bits
+                assert codec.verify(data, bits)
+                decoded = codec.decode(data, bits)
+                for name, value in values.items():
+                    assert decoded[name] == value
+
+    def test_every_single_bit_flip_detected(self, grid_metric):
+        """Any one flipped bit is caught (CRC polys have the +1 term)."""
+        for base in _all_scheme_codecs(grid_metric):
+            codec = with_checksum(base, 8)
+            data, bits = codec.encode(_max_values(base))
+            for position in range(bits):
+                flipped = flip_bits(data, [position])
+                assert not codec.verify(flipped, bits), (
+                    f"bit {position} flip undetected in {base!r}"
+                )
+                with pytest.raises(HeaderCorruptionError):
+                    codec.decode(flipped, bits)
+
+    def test_multi_bit_miss_rate_within_bound(self, grid_metric):
+        """Random multi-bit corruption escapes with probability ~2^-k."""
+        codec = with_checksum(labeled_scalefree_codec(grid_metric), 8)
+        data, bits = codec.encode(
+            _max_values(labeled_scalefree_codec(grid_metric))
+        )
+        rng = random.Random(99)
+        trials, undetected = 3000, 0
+        for _ in range(trials):
+            count = rng.randrange(2, bits + 1)
+            flipped = flip_bits(data, rng.sample(range(bits), count))
+            if codec.verify(flipped, bits):
+                undetected += 1
+        # Expected miss rate 2^-8 ~ 0.0039; allow a generous 3x margin
+        # (the trial stream is seeded, so this is deterministic).
+        assert undetected / trials < 3 * 2**-8
+
+    def test_crc_of_appended_message_is_zero(self):
+        """Message + its own CRC has syndrome zero (the defining check)."""
+        codec = ChecksumCodec([FieldSpec("a", 11), FieldSpec("b", 5)], 8)
+        data, bits = codec.encode({"a": 1234, "b": 9})
+        assert crc_of_bits(data, bits, 8) == 0
+
+    def test_verify_rejects_wrong_length(self, grid_metric):
+        codec = with_checksum(shortest_path_codec(grid_metric))
+        data, bits = codec.encode({"target_name": 3})
+        assert not codec.verify(data, bits + 1)
+
+    def test_with_checksum_idempotent(self, grid_metric):
+        codec = with_checksum(shortest_path_codec(grid_metric))
+        assert with_checksum(codec) is codec
+
+    def test_duplicate_checksum_field_rejected(self):
+        with pytest.raises(ValueError):
+            ChecksumCodec([FieldSpec(CHECKSUM_FIELD, 8)])
+
+    def test_unsupported_width_rejected(self, grid_metric):
+        with pytest.raises(ValueError):
+            with_checksum(shortest_path_codec(grid_metric), 7)
+        with pytest.raises(ValueError):
+            crc_of_bits(b"\x00", 8, 12)
+
+
+class TestFlipBits:
+    def test_double_flip_is_identity(self):
+        data = bytes([0b10110010, 0b01000001])
+        assert flip_bits(flip_bits(data, [0, 9, 15]), [15, 0, 9]) == data
+
+    def test_flip_positions_msb_first(self):
+        assert flip_bits(b"\x00", [0]) == b"\x80"
+        assert flip_bits(b"\x00", [7]) == b"\x01"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bits(b"\x00", [8])
+        with pytest.raises(ValueError):
+            flip_bits(b"\x00", [-1])
