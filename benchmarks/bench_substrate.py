@@ -1,0 +1,174 @@
+"""Benchmark the two-tier metric substrate (the O(n²) ceiling break).
+
+Reproduces the numbers recorded in ``BENCH_substrate.json``: the
+n = 256 → 10⁴ build trajectory of the lazy substrate under the landmark
+name-independent scheme on a preferential-attachment graph — build
+seconds (graph / metric / scheme split), full Dijkstra rows
+materialized, ``tracemalloc`` peak and process RSS high water, average
+stretch on a fixed pair sample — plus a dense-vs-lazy head-to-head at
+n = 256 where both strategies are buildable.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_substrate.py``
+(writes ``BENCH_substrate.json``; ~1-2 minutes, dominated by the
+n = 10⁴ point).  Pass ``--check`` for the CI variant: deterministic
+invariants only, no wall-clock assertions —
+
+* lazy answers (distances, balls, next hops) bit-identical to dense on
+  a sampled grid of queries at n = 256;
+* the landmark scheme builds and routes at n = 2048 with
+  ``rows_materialized`` a small fraction of n (the acceptance counter
+  behind "never materialize the dense matrix");
+* a 4 MiB row budget is respected (evictions occur, stored bytes stay
+  under budget) with answers unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.graphs.generators import preferential_attachment, random_geometric
+from repro.metric.graph_metric import GraphMetric
+from repro.pipeline.sampling import sample_ordered_pairs
+from repro.schemes.landmark_nameind import LandmarkNameIndependentScheme
+
+SIZES = (256, 2048, 10_000)
+PAIRS = 100
+
+
+def _rss_bytes() -> int:
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return rss * 1024 if sys.platform != "darwin" else rss
+
+
+def measure_point(n: int, strategy: str = "lazy") -> dict:
+    """One trajectory point: build + route at size ``n``."""
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    graph = preferential_attachment(n, m=2, seed=1)
+    t1 = time.perf_counter()
+    metric = GraphMetric(graph, strategy=strategy)
+    t2 = time.perf_counter()
+    scheme = LandmarkNameIndependentScheme(metric)
+    t3 = time.perf_counter()
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    build_stats = dict(metric.substrate_stats())
+    stretches = [
+        scheme.route(u, v).stretch
+        for u, v in sample_ordered_pairs(n, PAIRS, seed=0)
+    ]
+    return {
+        "n": n,
+        "strategy": metric.strategy,
+        "graph_seconds": round(t1 - t0, 3),
+        "metric_seconds": round(t2 - t1, 3),
+        "scheme_seconds": round(t3 - t2, 3),
+        "build_seconds": round(t3 - t0, 3),
+        "rows_materialized": int(build_stats["rows_materialized"]),
+        "rows_after_routing": int(
+            metric.substrate_stats()["rows_materialized"]
+        ),
+        "bounded_searches": int(build_stats["bounded_searches"]),
+        "stored_bytes": int(build_stats["stored_bytes"]),
+        "traced_peak_bytes": int(traced_peak),
+        "rss_high_water_bytes": _rss_bytes(),
+        "avg_stretch": round(float(np.mean(stretches)), 4),
+        "max_stretch": round(float(np.max(stretches)), 4),
+        "avg_table_bits": int(scheme.total_table_bits() / n),
+        "dense_matrix_bytes_hypothetical": int(n * n * (8 + 4)),
+    }
+
+
+def measure() -> dict:
+    points = [measure_point(n) for n in SIZES]
+    # Head-to-head at the smallest size, where dense is cheap.
+    head_to_head = {
+        strategy: measure_point(SIZES[0], strategy=strategy)
+        for strategy in ("dense", "lazy")
+    }
+    return {
+        "graph_family": "preferential_attachment(m=2, seed=1)",
+        "scheme": "LandmarkNameIndependentScheme",
+        "pair_sample": PAIRS,
+        "trajectory": points,
+        "head_to_head_n256": head_to_head,
+        "note": (
+            "rows_materialized counts full Dijkstra rows ever solved; "
+            "dense_matrix_bytes_hypothetical is what the eager APSP "
+            "(float64 dist + int32 pred) would allocate at that n"
+        ),
+    }
+
+
+def check() -> None:
+    """CI invariants (deterministic, no wall-clock assertions)."""
+    # 1. Strategy equivalence on a non-doubling graph: same distances,
+    #    balls, and next hops from both substrates.
+    graph = preferential_attachment(256, m=2, seed=1)
+    dense = GraphMetric(graph, strategy="dense")
+    lazy = GraphMetric(graph, strategy="lazy")
+    rng = np.random.default_rng(7)
+    for u, v in rng.integers(0, dense.n, size=(200, 2)):
+        u, v = int(u), int(v)
+        assert dense.distance(u, v) == lazy.distance(u, v)
+        assert dense.next_hop(u, v) == lazy.next_hop(u, v)
+    for u in map(int, rng.integers(0, dense.n, size=20)):
+        r = float(rng.uniform(0, dense.diameter))
+        assert dense.ball(u, r) == lazy.ball(u, r)
+        for j in range(0, dense.log_n + 1):
+            assert dense.r_u(u, j) == lazy.r_u(u, j)
+
+    # 2. The acceptance criterion at a CI-sized n: the landmark scheme
+    #    builds and routes without approaching full materialization.
+    n = 2048
+    metric = GraphMetric(
+        preferential_attachment(n, m=2, seed=1), strategy="lazy"
+    )
+    scheme = LandmarkNameIndependentScheme(metric)
+    for u, v in sample_ordered_pairs(n, 50, seed=0):
+        result = scheme.route(u, v)
+        assert result.path[-1] == v
+        assert result.cost >= result.optimal - 1e-9
+    rows = int(metric.substrate_stats()["rows_materialized"])
+    assert rows < n // 4, (
+        f"lazy build materialized {rows} rows at n={n} (expected << n)"
+    )
+
+    # 3. Budgeted store: evictions happen, budget is respected, answers
+    #    survive eviction bit-identically.
+    graph = random_geometric(128, seed=11)
+    reference = GraphMetric(graph, strategy="lazy")
+    budgeted = GraphMetric(
+        graph, strategy="lazy", row_budget_bytes=4 * 2**20 // 256
+    )
+    for u in range(budgeted.n):
+        assert (
+            reference.distances_from(u) == budgeted.distances_from(u)
+        ).all()
+    stats = budgeted.substrate_stats()
+    assert stats["evictions"] > 0, "budget never evicted"
+    assert stats["stored_bytes"] <= stats["budget_bytes"]
+    print("bench_substrate --check: all invariants hold")
+
+
+def main() -> None:
+    if "--check" in sys.argv[1:]:
+        check()
+    else:
+        payload = measure()
+        with open("BENCH_substrate.json", "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(json.dumps(payload, indent=2))
+        print("wrote BENCH_substrate.json", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

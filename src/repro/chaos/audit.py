@@ -96,10 +96,11 @@ class CorruptionInjector:
     ) -> List[NodeId]:
         """Flip one distance and one predecessor entry per node.
 
-        Writes through the metric's private arrays deliberately — the
-        model is memory corruption, not API misuse — and invalidates
-        the node's derived caches so routes served afterwards really
-        read the corrupted state.  Returns the corrupted node ids.
+        Writes through :meth:`GraphMetric.mutable_row` — the raw stored
+        arrays, bypassing the query API on purpose (that is what memory
+        corruption does) — then :meth:`GraphMetric.invalidate_derived`
+        drops the node's derived caches so routes served afterwards
+        really read the corrupted state.  Returns the corrupted ids.
         """
         n = metric.n
         corrupted = sorted({int(v) for v in nodes})
@@ -109,23 +110,22 @@ class CorruptionInjector:
             rng = random.Random(
                 derive_seed(self._seed, "table-corrupt", v)
             )
+            dist_row, pred_row = metric.mutable_row(v)
             victim = rng.randrange(n - 1)
             if victim >= v:
                 victim += 1  # never the trivial d(v, v) = 0 entry
             # Scale a finite positive distance: stays finite/positive,
             # always differs from the true value.
-            metric._dist[v, victim] *= 1.0 + 0.25 * (1 + rng.random())
+            dist_row[victim] *= 1.0 + 0.25 * (1 + rng.random())
             pred_victim = rng.randrange(n - 1)
             if pred_victim >= v:
                 pred_victim += 1
-            old_pred = int(metric._pred[v, pred_victim])
+            old_pred = int(pred_row[pred_victim])
             new_pred = (old_pred + 1 + rng.randrange(max(1, n - 1))) % n
             if new_pred == old_pred:
                 new_pred = (new_pred + 1) % n
-            metric._pred[v, pred_victim] = new_pred
-            metric._order_cache.pop(v, None)
-            metric._sorted_dist_cache.pop(v, None)
-            metric._next_hop_cache.pop(v, None)
+            pred_row[pred_victim] = new_pred
+            metric.invalidate_derived(v)
         return corrupted
 
 

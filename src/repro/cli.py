@@ -7,6 +7,7 @@ Usage::
                            [--json] [--cache-dir .repro-cache] [--profile]
     python -m repro resilience [--pairs 100] [--jobs 4] [--json]
     python -m repro chaos [--pairs 100] [--loss 0.05] [--jobs 4] [--json]
+    python -m repro scale [--sizes 256,2048,10000] [--pairs 100] [--json]
     python -m repro report [--output EXPERIMENTS.md] [--jobs 4]
                            [--provenance]
     python -m repro trace grid-8x8 nameind-sf 0 63 [--epsilon 0.5] [--json]
@@ -45,7 +46,7 @@ def _context_from(args: argparse.Namespace) -> BuildContext:
 
 def _emit_profile(args: argparse.Namespace, context: BuildContext) -> None:
     if getattr(args, "profile", False):
-        print(context.profile.to_json(context.stats), file=sys.stderr)
+        print(json.dumps(context.profile_report(), indent=2), file=sys.stderr)
 
 
 def _registry_command(name: str) -> Callable[[argparse.Namespace], None]:
@@ -56,7 +57,7 @@ def _registry_command(name: str) -> Callable[[argparse.Namespace], None]:
         # not accept them.
         extra = {
             key: getattr(args, key)
-            for key in ("edits", "loss")
+            for key in ("edits", "loss", "sizes")
             if getattr(args, key, None) is not None
         }
         tables = run_experiment(
@@ -200,6 +201,19 @@ def build_parser() -> argparse.ArgumentParser:
                 help=(
                     "single loss rate instead of the default sweep "
                     "(also sets the composed-regime channel loss)"
+                ),
+            )
+        if name == "scale":
+            cmd.add_argument(
+                "--sizes",
+                type=lambda text: tuple(
+                    int(part) for part in text.split(",") if part
+                ),
+                default=None,
+                metavar="N,N,...",
+                help=(
+                    "comma-separated graph sizes for the scaling study "
+                    "(default 256,1024,2048; try 256,2048,10000)"
                 ),
             )
         if name == "report":

@@ -102,9 +102,14 @@ class ObjectDirectory:
         eps = self._params.epsilon
         for i in self._hierarchy.levels:
             radius = (2.0**i) / eps
-            d = self._metric.distances_from(holder)
+            # The bounded ball over-approximates (its slack is 1e-9);
+            # re-filter at this directory's tighter 1e-12 tolerance.
+            ids, d = self._metric.ball_with_distances(holder, radius)
+            covering = {
+                int(x) for x, dx in zip(ids, d) if dx <= radius + 1e-12
+            }
             for x in self._hierarchy.net(i):
-                if d[x] <= radius + 1e-12:
+                if x in covering:
                     yield i, x
 
     def publish(self, object_id: Hashable, holder: NodeId) -> None:

@@ -22,6 +22,7 @@ from repro.experiments import storage_audit, structures, sweeps
 from repro.experiments import table1, table2
 from repro.experiments import chaos as chaos_experiment
 from repro.experiments import churn as churn_experiment
+from repro.experiments import scale as scale_experiment
 from repro.experiments.harness import ExperimentTable
 from repro.pipeline.context import BuildContext
 
@@ -358,6 +359,36 @@ def generate(
         "a cold rebuild.  The full loss sweep, the composed regime\n"
         "(chaos on top of 10% failed links with resilient re-routing),\n"
         "and wall-clock numbers live in BENCH_chaos.json.\n"
+    )
+
+    e19 = scale_experiment.run(
+        pair_count=pair_count // 3, context=context
+    )
+    e19b = scale_experiment.run_doubling(
+        epsilon=0.5, pair_count=pair_count // 3, context=context
+    )
+    sections.append(
+        "## E19 — the Internet-scale regime on the lazy substrate "
+        "(beyond the paper)\n\n"
+        "The two-tier metric substrate materializes shortest-path rows\n"
+        "on demand instead of paying the Θ(n²) APSP up front, which\n"
+        "opens sizes the dense matrix cannot reach.  The landmark\n"
+        "name-independent scheme (Krioukov–Fall–Yang regime, see\n"
+        "PAPERS.md) builds from √n full rows plus one size-bounded\n"
+        "vicinity search per node:\n\n"
+        + _block(e19) + "\n" + _block(e19b) +
+        "\n**Reading:** rows materialized stays ≈ √n ≪ n at every\n"
+        "size — `python -m repro scale --sizes 256,2048,10000` extends\n"
+        "the trajectory to n = 10⁴, where the scheme still builds from\n"
+        "~100 rows while an eager APSP would need 10⁴ rows (~1.6 GB).\n"
+        "The degradation table shows why the paper's doubling\n"
+        "assumption matters: on power-law graphs Theorem 1.4's tables\n"
+        "inflate several-fold (hub balls have unbounded doubling\n"
+        "constant) while the landmark tables are family-agnostic — but\n"
+        "only the doubling scheme carries a worst-case stretch\n"
+        "guarantee, and the exponential-weight backbone family shows\n"
+        "the landmark scheme's unbounded worst case.  Build-time and\n"
+        "peak-memory trajectories are recorded in BENCH_substrate.json.\n"
     )
 
     if provenance:

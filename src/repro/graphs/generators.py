@@ -108,10 +108,34 @@ def random_geometric(
     radius = connect_radius_factor * (math.log(max(2, n)) / n) ** (1.0 / dim)
     graph = nx.Graph()
     graph.add_nodes_from(range(n))
-    for u, v in itertools.combinations(range(n), 2):
-        d = math.dist(points[u], points[v])
-        if d <= radius:
-            graph.add_edge(u, v, weight=max(d, 1e-6))
+    # Grid-bucket neighbor search: only points in the same or adjacent
+    # cells (cell side = radius) can be within the connect radius, so
+    # the scan is O(n) expected instead of the O(n²) all-pairs loop.
+    # Edges are added in sorted (u, v) order — the order the old
+    # itertools.combinations scan produced — so the generated graph is
+    # bit-identical (edge insertion order feeds the metric's CSR layout
+    # and hence shortest-path tie-breaking).
+    cells: dict = {}
+    for i, p in enumerate(points):
+        cells.setdefault(
+            tuple(int(c / radius) for c in p), []
+        ).append(i)
+    offsets = list(itertools.product((-1, 0, 1), repeat=dim))
+    edges = []
+    for cell, members in cells.items():
+        for off in offsets:
+            neighbour = tuple(c + o for c, o in zip(cell, off))
+            others = cells.get(neighbour)
+            if others is None:
+                continue
+            for u in members:
+                for v in others:
+                    if u < v and math.dist(points[u], points[v]) <= radius:
+                        edges.append((u, v))
+    for u, v in sorted(set(edges)):
+        graph.add_edge(
+            u, v, weight=max(math.dist(points[u], points[v]), 1e-6)
+        )
     _connect_components_by_nearest(graph, points)
     for u in graph.nodes():
         graph.nodes[u]["pos"] = points[u]
@@ -191,7 +215,10 @@ def exponential_ring(n: int, base: float = 2.0) -> nx.Graph:
 
 
 def clustered_backbone(
-    clusters: int, cluster_size: int, base: float = 2.0
+    clusters: int,
+    cluster_size: int,
+    base: float = 2.0,
+    max_weight: Optional[float] = None,
 ) -> nx.Graph:
     """Chain of unit-weight cliques joined by geometrically heavier links.
 
@@ -200,11 +227,19 @@ def clustered_backbone(
     normalized diameter grows like ``base^clusters`` while the doubling
     dimension stays bounded — another scale-free stressor, with
     non-trivial local structure (unlike the exponential path).
+
+    ``max_weight`` caps the backbone weights (default: uncapped,
+    preserving the historical geometric growth).  At Internet scale —
+    thousands of clusters — the uncapped ``base**c`` overflows floats,
+    so large-n workloads pass a cap and trade the exponential diameter
+    for a linear one.
     """
     if clusters < 1 or cluster_size < 1:
         raise ValueError("need at least one cluster of one node")
     if base <= 1.0:
         raise ValueError("base must exceed 1")
+    if max_weight is not None and max_weight < 1.0:
+        raise ValueError("max_weight must be at least 1")
     graph = nx.Graph()
     for c in range(clusters):
         offset = c * cluster_size
@@ -213,7 +248,67 @@ def clustered_backbone(
             for j in range(i + 1, cluster_size):
                 graph.add_edge(offset + i, offset + j, weight=1.0)
         if c > 0:
-            graph.add_edge(offset - 1, offset, weight=base**c)
+            if max_weight is None:
+                w = base**c
+            elif c * math.log(base) >= math.log(max_weight):
+                w = max_weight  # base**c would overflow past the cap
+            else:
+                w = min(base**c, max_weight)
+            graph.add_edge(offset - 1, offset, weight=w)
+    return graph
+
+
+def preferential_attachment(n: int, m: int = 2, seed: int = 0) -> nx.Graph:
+    """Barabási–Albert preferential-attachment graph, unit weights.
+
+    The canonical power-law family (degree exponent ≈ 3): each arriving
+    node attaches to ``m`` existing nodes with probability proportional
+    to their degree.  Connected by construction and deterministic given
+    ``seed``.  These graphs are expressly *not* doubling — hub
+    neighbourhoods grow linearly — which is the regime Krioukov–Fall–
+    Yang study; experiment E19 measures how the paper's doubling-metric
+    schemes degrade here.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if not 1 <= m < n:
+        raise ValueError("attachment count m must be in [1, n)")
+    graph = nx.barabasi_albert_graph(n, m, seed=seed)
+    nx.set_edge_attributes(graph, 1.0, "weight")
+    return graph
+
+
+def internet_as_like(n: int, m: int = 2, seed: int = 0) -> nx.Graph:
+    """Internet-AS-like topology: power-law core plus hub peering links.
+
+    A Barabási–Albert backbone with two AS-flavoured decorations:
+
+    * the top ``√n`` highest-degree nodes (the "tier-1 core") are
+      densely peered — extra unit-weight links between random hub
+      pairs, mimicking the near-clique of large transit providers;
+    * non-core links carry heavier weights (uniform in [2, 4]),
+      modelling customer/provider hops being slower than core peering.
+
+    The degree distribution stays heavy-tailed while the core becomes
+    even denser than plain preferential attachment — the small-world,
+    non-doubling shape of measured AS graphs.
+    """
+    if n < 4:
+        raise ValueError("need at least 4 nodes")
+    graph = preferential_attachment(n, m=m, seed=seed)
+    rng = random.Random(seed + 0x5EED)
+    hubs = sorted(
+        graph.nodes(), key=lambda v: (-graph.degree(v), v)
+    )[: max(2, int(math.isqrt(n)))]
+    hub_set = set(hubs)
+    extra = max(1, n // 10)
+    for _ in range(extra):
+        u, v = rng.sample(hubs, 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, weight=1.0)
+    for u, v in graph.edges():
+        if u not in hub_set or v not in hub_set:
+            graph[u][v]["weight"] = rng.uniform(2.0, 4.0)
     return graph
 
 

@@ -5,7 +5,7 @@ wraps a connected, edge-weighted, undirected :class:`networkx.Graph`,
 normalizes the minimum edge weight to 1 (the paper's w.l.o.g. assumption),
 and provides:
 
-* exact all-pairs shortest-path distances ``d(u, v)`` (scipy Dijkstra);
+* exact shortest-path distances ``d(u, v)`` (scipy Dijkstra);
 * metric balls ``B_u(r)`` — with the paper's convention that ball
   membership uses ``d(u, x) <= r``;
 * *size-radii* ``r_u(j)``: the radius of the smallest ball around ``u``
@@ -16,13 +16,31 @@ and provides:
   any target, with least-id tie-breaking so that every node's view of
   shortest paths is globally consistent.
 
+Since the substrate refactor, ``GraphMetric`` is a *facade* over two
+interchangeable distance strategies (see :mod:`repro.metric.substrate`):
+
+* ``strategy="dense"`` — the original eager O(n²) APSP matrix, selected
+  automatically for ``n <= DENSE_NODE_LIMIT``;
+* ``strategy="lazy"`` — a CSR adjacency core whose per-source rows are
+  materialized on demand into a budgeted LRU row store, with
+  radius-/size-bounded searches so ball and size-radius queries never
+  touch nodes beyond the queried ball.
+
+Both strategies answer every query byte-identically (a property suite in
+``tests/test_substrate.py`` enforces this on all fixtures); ``lazy``
+additionally scales to n = 10⁴ and beyond because nothing ever allocates
+an n×n matrix.  The only documented divergence is :attr:`diameter` above
+``EXACT_DIAMETER_LIMIT`` nodes, where the lazy strategy reports an
+iterated double-sweep *lower bound* (exact on trees, >= Δ/2 in general)
+instead of paying n full searches.
+
 Nodes must be (or are relabelled to) ``0 .. n-1`` integers.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -31,10 +49,24 @@ from scipy.sparse.csgraph import dijkstra
 
 from repro.core.edits import EditKind, GraphEdit
 from repro.core.types import NodeId, PreprocessingError
+from repro.metric.substrate import (
+    DEFAULT_ROW_BUDGET_BYTES,
+    DENSE_NODE_LIMIT,
+    DISTANCE_SLACK,
+    EXACT_DIAMETER_LIMIT,
+    DenseStrategy,
+    LazyStrategy,
+)
 
-#: Relative slack used when comparing floating-point distances.  All edge
-#: weights are >= 1 after normalization, so an absolute epsilon is safe.
-DISTANCE_SLACK = 1e-9
+__all__ = [
+    "DISTANCE_SLACK",
+    "DENSE_NODE_LIMIT",
+    "EXACT_DIAMETER_LIMIT",
+    "GraphMetric",
+    "stretch_of",
+]
+
+_ROW_CHUNK = 256
 
 
 class GraphMetric:
@@ -47,13 +79,28 @@ class GraphMetric:
         normalize: If ``True`` (default), divide all weights by the minimum
             edge weight so the smallest distance is 1, matching the paper's
             normalization (``Δ = max d(u, v)``).
+        strategy: ``"dense"`` (eager APSP), ``"lazy"`` (bounded-search
+            row store), or ``"auto"`` (default: dense iff
+            ``n <= DENSE_NODE_LIMIT``).
+        row_budget_bytes: LRU byte budget for lazily materialized rows
+            (lazy strategy only; default ``DEFAULT_ROW_BUDGET_BYTES``).
 
     Raises:
-        PreprocessingError: If the graph is empty, disconnected, or has a
-            non-positive edge weight.
+        PreprocessingError: If the graph is empty, disconnected, has a
+            non-positive edge weight, or ``strategy`` is unknown.
     """
 
-    def __init__(self, graph: nx.Graph, normalize: bool = True) -> None:
+    def __init__(
+        self,
+        graph: nx.Graph,
+        normalize: bool = True,
+        strategy: str = "auto",
+        row_budget_bytes: Optional[int] = None,
+    ) -> None:
+        if strategy not in ("auto", "dense", "lazy"):
+            raise PreprocessingError(
+                f"strategy must be 'auto', 'dense', or 'lazy', got {strategy!r}"
+            )
         if graph.number_of_nodes() == 0:
             raise PreprocessingError("graph is empty")
         if not nx.is_connected(graph):
@@ -76,12 +123,28 @@ class GraphMetric:
             raise PreprocessingError("edge weights must be positive")
         self._scale = min(weights) if (normalize and weights) else 1.0
 
-        self._dist = self._all_pairs_distances()
-        self._diameter = float(self._dist.max()) if self._n > 1 else 1.0
-        # Sorted neighbourhood views, built lazily per source.
-        self._order_cache: Dict[NodeId, np.ndarray] = {}
-        self._sorted_dist_cache: Dict[NodeId, np.ndarray] = {}
-        self._next_hop_cache: Dict[NodeId, Dict[NodeId, NodeId]] = {}
+        self._row_budget = (
+            DEFAULT_ROW_BUDGET_BYTES
+            if row_budget_bytes is None
+            else int(row_budget_bytes)
+        )
+        if strategy == "auto":
+            strategy = "dense" if self._n <= DENSE_NODE_LIMIT else "lazy"
+        matrix = self._csr()
+        if strategy == "dense":
+            self._strategy = DenseStrategy(matrix, self._n)
+            self._diameter: Optional[float] = (
+                float(self._strategy._dist.max()) if self._n > 1 else 1.0
+            )
+            self._diameter_exact = True
+        else:
+            self._strategy = LazyStrategy(
+                matrix, self._n, budget_bytes=self._row_budget
+            )
+            # Computed on first access — a lazy metric that never needs
+            # the diameter never pays for it.
+            self._diameter = None
+            self._diameter_exact = self._n <= EXACT_DIAMETER_LIMIT
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -98,17 +161,41 @@ class GraphMetric:
             vals.extend((w, w))
         return csr_matrix((vals, (rows, cols)), shape=(self._n, self._n))
 
-    def _all_pairs_distances(self) -> np.ndarray:
-        dist, pred = dijkstra(
-            self._csr(), directed=False, return_predecessors=True
-        )
-        if not np.all(np.isfinite(dist)):
-            raise PreprocessingError("graph must be connected")
-        # pred[u, v] = predecessor of v on the canonical shortest path
-        # from u; used for exact next-hop extraction (no floating-point
-        # tolerance games, which break at large normalized diameters).
-        self._pred = pred
-        return dist
+    # ------------------------------------------------------------------
+    # Strategy introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def strategy(self) -> str:
+        """``"dense"`` or ``"lazy"`` — the resolved substrate strategy."""
+        return self._strategy.kind
+
+    @property
+    def row_budget_bytes(self) -> int:
+        """Configured LRU byte budget for lazily materialized rows."""
+        return self._row_budget
+
+    def substrate_stats(self) -> Dict[str, object]:
+        """Row-store counters: rows materialized, hits/misses, bytes.
+
+        Dense metrics report ``rows_materialized = n`` (the eager APSP
+        materializes everything up front); lazy metrics report exactly
+        the full rows ever solved — the acceptance counter behind
+        "builds at n = 10⁴ with rows materialized ≪ n".
+        """
+        return self._strategy.stats()
+
+    # -- dense-only raw views (tests, chaos injector back-compat) ------
+
+    @property
+    def _dist(self) -> np.ndarray:
+        """Full distance matrix — dense strategy only."""
+        return self._strategy._dist
+
+    @property
+    def _pred(self) -> np.ndarray:
+        """Full predecessor matrix — dense strategy only."""
+        return self._strategy._pred
 
     # ------------------------------------------------------------------
     # Incremental maintenance (churn pipeline)
@@ -123,6 +210,18 @@ class GraphMetric:
         """
         self._graph = self._graph.copy()
 
+    def _edit_weights(self, edit: GraphEdit) -> List[float]:
+        """Normalized edge weights whose relaxations the edit touches."""
+        u, v = edit.edge
+        weights: List[float] = []
+        if edit.kind in (EditKind.WEIGHT, EditKind.EDGE_REMOVE):
+            weights.append(
+                float(self._graph[u][v].get("weight", 1.0)) / self._scale
+            )
+        if edit.kind in (EditKind.WEIGHT, EditKind.EDGE_ADD):
+            weights.append(float(edit.weight) / self._scale)
+        return weights
+
     def _dirty_sources(self, edit: GraphEdit) -> np.ndarray:
         """Boolean mask of sources whose distance row the edit may touch.
 
@@ -134,23 +233,20 @@ class GraphMetric:
         improves *or ties* any ``d(s, ·)`` leaves the whole relaxation
         trace — distances and predecessors — bit-identical, which is
         what lets clean rows be spliced through unchanged.
+
+        The test is two-row: the edge is tight (or tie-tight) from ``s``
+        iff ``d(s,u) + w <= d(s,v) + slack`` or symmetrically — the
+        ``t``-quantified form the dense code used to evaluate over the
+        whole matrix reduces to this by the triangle inequality (take
+        ``t = v``), so only rows ``u`` and ``v`` are ever consulted.
         """
         u, v = edit.edge
-        d = self._dist
+        row_u = self._strategy.row(u)
+        row_v = self._strategy.row(v)
         mask = np.zeros(self._n, dtype=bool)
-
-        def influence(w_norm: float) -> np.ndarray:
-            through = np.minimum(
-                d[u][:, None] + w_norm + d[v][None, :],
-                d[v][:, None] + w_norm + d[u][None, :],
-            )
-            return (through <= d + DISTANCE_SLACK).any(axis=1)
-
-        if edit.kind in (EditKind.WEIGHT, EditKind.EDGE_REMOVE):
-            old_w = float(self._graph[u][v].get("weight", 1.0)) / self._scale
-            mask |= influence(old_w)
-        if edit.kind in (EditKind.WEIGHT, EditKind.EDGE_ADD):
-            mask |= influence(float(edit.weight) / self._scale)
+        for w in self._edit_weights(edit):
+            mask |= row_u + w <= row_v + DISTANCE_SLACK
+            mask |= row_v + w <= row_u + DISTANCE_SLACK
         # The endpoints see the edge directly in their relaxation
         # frontier; always re-examine them (``updated`` downgrades any
         # candidate whose recomputed row turns out unchanged).
@@ -168,18 +264,24 @@ class GraphMetric:
 
         Only the dirty rows are re-run through Dijkstra; clean rows
         (distances, predecessors, and their lazily built per-source
-        caches) are spliced from this metric, and the result is
-        bit-identical to ``GraphMetric(post_graph)`` built cold.  Edits
-        that change the node set or the normalization scale dirty
-        everything and fall back to a cold build.
+        caches — for lazy metrics, the row-store entries themselves)
+        are spliced from this metric, and the result is bit-identical to
+        ``GraphMetric(post_graph)`` built cold.  Edits that change the
+        node set or the normalization scale dirty everything and fall
+        back to a cold build.
         """
         if post_graph is self._graph:
             raise PreprocessingError(
                 "updated() needs a detached pre-edit snapshot; call "
                 "detach_graph() before mutating a shared graph"
             )
+        rebuild_kwargs = dict(
+            normalize=self._normalize,
+            strategy=self._strategy.kind,
+            row_budget_bytes=self._row_budget,
+        )
         if edit.changes_node_set:
-            rebuilt = GraphMetric(post_graph, normalize=self._normalize)
+            rebuilt = GraphMetric(post_graph, **rebuild_kwargs)
             return rebuilt, frozenset(range(rebuilt.n))
         weights = [
             float(data.get("weight", 1.0))
@@ -191,7 +293,7 @@ class GraphMetric:
         if new_scale != self._scale:
             # The normalization divisor changed: every normalized
             # distance in the matrix is scaled, so nothing is reusable.
-            rebuilt = GraphMetric(post_graph, normalize=self._normalize)
+            rebuilt = GraphMetric(post_graph, **rebuild_kwargs)
             return rebuilt, frozenset(range(rebuilt.n))
 
         mask = self._dirty_sources(edit)
@@ -202,43 +304,101 @@ class GraphMetric:
         new._n = self._n
         new._normalize = self._normalize
         new._scale = self._scale
+        new._row_budget = self._row_budget
+        new_matrix = new._csr()
+        if self._strategy.kind == "dense":
+            dirty_set = self._updated_dense(new, new_matrix, candidates)
+        else:
+            dirty_set = self._updated_lazy(new, new_matrix, candidates)
+        self._strategy.carry_into(new._strategy, dirty_set)
+        return new, dirty_set
+
+    def _updated_dense(
+        self,
+        new: "GraphMetric",
+        new_matrix: csr_matrix,
+        candidates: np.ndarray,
+    ) -> FrozenSet[NodeId]:
+        old = self._strategy
         sub_dist, sub_pred = dijkstra(
-            new._csr(),
+            new_matrix,
             directed=False,
             indices=candidates,
             return_predecessors=True,
         )
         if not np.all(np.isfinite(sub_dist)):
             raise PreprocessingError("edit disconnected the graph")
-        new._dist = self._dist.copy()
-        new._dist[candidates] = sub_dist
-        new._pred = self._pred.copy()
-        new._pred[candidates] = sub_pred
+        new_dist = old._dist.copy()
+        new_dist[candidates] = sub_dist
+        new_pred = old._pred.copy()
+        new_pred[candidates] = sub_pred
         # The tie-inclusive mask is conservative; on tie-heavy graphs
         # (unit-weight grids) it can flag nearly every source.  The
         # recomputed rows are in hand, so the *exact* dirty set is
         # cheap: a candidate whose new relaxation trace (distances and
         # predecessors) is bit-identical to the old row never changed —
         # every artifact keyed to it is still exact.
-        changed = (sub_dist != self._dist[candidates]).any(axis=1) | (
-            sub_pred != self._pred[candidates]
+        changed = (sub_dist != old._dist[candidates]).any(axis=1) | (
+            sub_pred != old._pred[candidates]
         ).any(axis=1)
-        dirty_set = frozenset(int(s) for s in candidates[changed])
-        new._diameter = float(new._dist.max()) if new._n > 1 else 1.0
-        new._order_cache = {
-            s: o for s, o in self._order_cache.items() if s not in dirty_set
-        }
-        new._sorted_dist_cache = {
-            s: sd
-            for s, sd in self._sorted_dist_cache.items()
-            if s not in dirty_set
-        }
-        new._next_hop_cache = {
-            s: h
-            for s, h in self._next_hop_cache.items()
-            if s not in dirty_set
-        }
-        return new, dirty_set
+        new._strategy = DenseStrategy.from_matrices(new_dist, new_pred)
+        new._diameter = float(new_dist.max()) if new._n > 1 else 1.0
+        new._diameter_exact = True
+        return frozenset(int(s) for s in candidates[changed])
+
+    def _updated_lazy(
+        self,
+        new: "GraphMetric",
+        new_matrix: csr_matrix,
+        candidates: np.ndarray,
+    ) -> FrozenSet[NodeId]:
+        old = self._strategy
+        new._strategy = LazyStrategy(
+            new_matrix, self._n, budget_bytes=self._row_budget
+        )
+        new._diameter = None
+        new._diameter_exact = self._n <= EXACT_DIAMETER_LIMIT
+        dirty: List[int] = []
+        was_cached = {s for s, _ in old.store.items()}
+        for start in range(0, candidates.shape[0], _ROW_CHUNK):
+            chunk = candidates[start : start + _ROW_CHUNK]
+            new_dist, new_pred = dijkstra(
+                new_matrix,
+                directed=False,
+                indices=chunk,
+                return_predecessors=True,
+            )
+            if not np.all(np.isfinite(new_dist)):
+                raise PreprocessingError("edit disconnected the graph")
+            # Old rows: prefer the stored row (what this snapshot's
+            # readers actually see), recompute the rest in one batch.
+            cached_rows: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+            missing: List[int] = []
+            for s in chunk:
+                entry = old.store.get(int(s))
+                if entry is not None and entry.full:
+                    cached_rows[int(s)] = (entry.dist, entry.pred)
+                else:
+                    missing.append(int(s))
+            if missing:
+                miss_dist, miss_pred = dijkstra(
+                    old._matrix,
+                    directed=False,
+                    indices=np.asarray(missing, dtype=np.int64),
+                    return_predecessors=True,
+                )
+                for i, s in enumerate(missing):
+                    cached_rows[s] = (miss_dist[i], miss_pred[i])
+            for i, s in enumerate(chunk):
+                old_d, old_p = cached_rows[int(s)]
+                if (new_dist[i] != old_d).any() or (new_pred[i] != old_p).any():
+                    dirty.append(int(s))
+                    if int(s) in was_cached:
+                        # Hot source: keep it materialized post-edit.
+                        new._strategy.adopt_row(
+                            int(s), new_dist[i].copy(), new_pred[i].copy()
+                        )
+        return frozenset(dirty)
 
     # ------------------------------------------------------------------
     # Table-integrity auditing (chaos subsystem)
@@ -248,20 +408,31 @@ class GraphMetric:
         """Checksum of node ``u``'s routing-table basis.
 
         Every scheme ultimately forwards through this metric's per-node
-        rows (``_dist[u]``/``_pred[u]`` drive ``next_hop``), so a
-        digest over those rows *is* a checksum of node ``u``'s stored
-        table state.  Used by :mod:`repro.chaos.audit` to detect
-        in-memory corruption.
+        rows (distances/predecessors drive ``next_hop``), so a digest
+        over those rows *is* a checksum of node ``u``'s stored table
+        state.  Used by :mod:`repro.chaos.audit` to detect in-memory
+        corruption.
         """
-        import hashlib
+        return self._strategy.row_digest(u)
 
-        digest = hashlib.sha256()
-        digest.update(np.ascontiguousarray(self._dist[u]).tobytes())
-        digest.update(np.ascontiguousarray(self._pred[u]).tobytes())
-        return digest.hexdigest()
+    def mutable_row(self, u: NodeId) -> Tuple[np.ndarray, np.ndarray]:
+        """Writable ``(distances, predecessors)`` views of row ``u``.
+
+        The chaos fault injector's entry point: it mutates stored table
+        state in place, deliberately bypassing the query API.  Call
+        :meth:`invalidate_derived` afterwards so derived caches (sorted
+        views, next hops) are rebuilt from the corrupted values.  On the
+        lazy strategy the row is copied first (copy-on-write), so
+        snapshots sharing the entry never see the mutation.
+        """
+        return self._strategy.mutable_row(u)
+
+    def invalidate_derived(self, u: NodeId) -> None:
+        """Drop row ``u``'s derived caches after an in-place mutation."""
+        self._strategy.invalidate_derived(u)
 
     def splice_rows(self, sources: Sequence[NodeId]) -> None:
-        """Recompute and splice the APSP rows of ``sources``, in place.
+        """Recompute and splice the SSSP rows of ``sources``, in place.
 
         The churn repair primitive of :meth:`updated`, exposed for
         integrity healing: each source's distances and predecessors are
@@ -269,7 +440,8 @@ class GraphMetric:
         a cold build runs, so the spliced rows are bit-identical to a
         from-scratch construction (the property :meth:`updated` already
         relies on when it downgrades unchanged candidate rows).  The
-        sources' lazy per-row caches are invalidated.
+        sources' lazy per-row caches — including memoized next-hop rows
+        — are invalidated together.
         """
         rows = sorted({int(s) for s in sources})
         if not rows:
@@ -278,23 +450,10 @@ class GraphMetric:
             raise PreprocessingError(
                 f"sources must be node ids in [0, {self._n})"
             )
-        index = np.asarray(rows, dtype=np.int64)
-        sub_dist, sub_pred = dijkstra(
-            self._csr(),
-            directed=False,
-            indices=index,
-            return_predecessors=True,
-        )
-        if not np.all(np.isfinite(sub_dist)):
-            raise PreprocessingError("graph must be connected")
-        self._dist[index] = sub_dist
-        self._pred[index] = sub_pred
-        # Corrupted entries may have inflated the cached diameter.
-        self._diameter = float(self._dist.max()) if self._n > 1 else 1.0
-        for s in rows:
-            self._order_cache.pop(s, None)
-            self._sorted_dist_cache.pop(s, None)
-            self._next_hop_cache.pop(s, None)
+        self._strategy.splice_rows(rows, self._csr())
+        if self._strategy.kind == "dense" and self._n > 1:
+            # Corrupted entries may have inflated the cached diameter.
+            self._diameter = float(self._strategy._dist.max())
 
     # ------------------------------------------------------------------
     # Basic metric queries
@@ -327,15 +486,33 @@ class GraphMetric:
 
     @property
     def diameter(self) -> float:
-        """Largest shortest-path distance (= normalized diameter Δ)."""
+        """Largest shortest-path distance (= normalized diameter Δ).
+
+        Dense metrics (and lazy ones up to ``EXACT_DIAMETER_LIMIT``
+        nodes) report the exact value; larger lazy metrics report the
+        iterated double-sweep lower bound (see
+        ``LazyStrategy.diameter_estimate``) — check
+        :attr:`diameter_is_exact`.
+        """
+        if self._diameter is None:
+            estimate, exact = self._strategy.diameter_estimate()
+            self._diameter = max(estimate, 1.0) if self._n > 1 else 1.0
+            self._diameter_exact = exact
         return self._diameter
+
+    @property
+    def diameter_is_exact(self) -> bool:
+        """Whether :attr:`diameter` is exact (vs a double-sweep bound)."""
+        if self._diameter is None:
+            self.diameter
+        return self._diameter_exact
 
     @property
     def log_diameter(self) -> int:
         """``ceil(log2 Δ)`` — index of the top r-net level (at least 0)."""
-        if self._diameter <= 1.0:
+        if self.diameter <= 1.0:
             return 0
-        return int(math.ceil(math.log2(self._diameter) - DISTANCE_SLACK))
+        return int(math.ceil(math.log2(self.diameter) - DISTANCE_SLACK))
 
     @property
     def log_n(self) -> int:
@@ -346,33 +523,43 @@ class GraphMetric:
 
     def distance(self, u: NodeId, v: NodeId) -> float:
         """Shortest-path distance ``d(u, v)``."""
-        return float(self._dist[u, v])
+        return self._strategy.distance(u, v)
 
     def distances_from(self, u: NodeId) -> np.ndarray:
-        """Read-only vector of distances from ``u`` to every node."""
-        return self._dist[u]
+        """Vector of distances from ``u`` to every node.
+
+        On the lazy strategy this materializes (and caches) the full
+        row; prefer the bounded queries (``ball_with_distances``,
+        ``nearest_among``, ``max_distance_to``) when only part of the
+        row is needed.
+        """
+        return self._strategy.row(u)
+
+    def predecessors_from(self, u: NodeId) -> np.ndarray:
+        """Predecessor row of the canonical shortest-path tree at ``u``.
+
+        ``predecessors_from(u)[v]`` is the neighbour of ``v`` on the
+        canonical path from ``u`` to ``v`` (``-9999`` at ``u`` itself,
+        scipy's convention).  Materializes the full row on lazy metrics;
+        used by landmark-style schemes that store whole landmark trees.
+        """
+        return self._strategy.pred_row(u)
 
     def edge_weight(self, u: NodeId, v: NodeId) -> float:
         """Normalized weight of the edge ``(u, v)``."""
         return float(self._graph[u][v].get("weight", 1.0)) / self._scale
 
     def eccentricity(self, u: NodeId) -> float:
-        """Largest distance from ``u`` to any node."""
-        return float(self._dist[u].max())
+        """Largest distance from ``u`` to any node.
+
+        Needs only node ``u``'s own row — on the lazy strategy this is
+        one single-source search, never the full APSP.
+        """
+        return self._strategy.eccentricity(u)
 
     # ------------------------------------------------------------------
     # Balls and size-radii (paper §2)
     # ------------------------------------------------------------------
-
-    def _order_from(self, u: NodeId) -> np.ndarray:
-        """Node ids sorted by ``(distance from u, node id)``."""
-        order = self._order_cache.get(u)
-        if order is None:
-            d = self._dist[u]
-            order = np.lexsort((np.arange(self._n), d))
-            self._order_cache[u] = order
-            self._sorted_dist_cache[u] = d[order]
-        return order
 
     def ball(self, u: NodeId, r: float) -> List[NodeId]:
         """``B_u(r)``: nodes within distance ``r`` of ``u`` (inclusive).
@@ -380,16 +567,23 @@ class GraphMetric:
         The result is sorted by ``(distance, id)``; it always contains
         ``u`` itself for ``r >= 0``.
         """
-        order = self._order_from(u)
-        sorted_d = self._sorted_dist_cache[u]
-        count = int(np.searchsorted(sorted_d, r + DISTANCE_SLACK, "right"))
-        return [int(x) for x in order[:count]]
+        ids, _ = self._strategy.ball_with_distances(u, r)
+        return [int(x) for x in ids]
+
+    def ball_with_distances(
+        self, u: NodeId, r: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``B_u(r)`` as ``(ids, distances)`` arrays, (distance, id)-sorted.
+
+        The bounded-search workhorse: consumers that used to scan a full
+        ``distances_from`` row (r-net construction, ring blocks, oracle
+        labels) read exactly the ball they need instead.
+        """
+        return self._strategy.ball_with_distances(u, r)
 
     def ball_size(self, u: NodeId, r: float) -> int:
         """``|B_u(r)|`` without materializing the node list."""
-        self._order_from(u)
-        sorted_d = self._sorted_dist_cache[u]
-        return int(np.searchsorted(sorted_d, r + DISTANCE_SLACK, "right"))
+        return self._strategy.ball_size(u, r)
 
     def size_radius(self, u: NodeId, size: int) -> float:
         """``r_u``: distance to the ``size``-th nearest node (incl. u).
@@ -400,15 +594,22 @@ class GraphMetric:
         """
         if not 1 <= size <= self._n:
             raise ValueError(f"size must be in [1, {self._n}], got {size}")
-        self._order_from(u)
-        return float(self._sorted_dist_cache[u][size - 1])
+        return self._strategy.size_radius(u, size)
 
     def size_ball(self, u: NodeId, size: int) -> List[NodeId]:
         """The ``size`` nearest nodes to ``u`` (ties by id), sorted."""
         if not 1 <= size <= self._n:
             raise ValueError(f"size must be in [1, {self._n}], got {size}")
-        order = self._order_from(u)
-        return [int(x) for x in order[:size]]
+        return [int(x) for x in self._strategy.size_ball(u, size)]
+
+    def size_ball_with_radius(
+        self, u: NodeId, size: int
+    ) -> Tuple[float, List[NodeId]]:
+        """``(size_radius(u, size), size_ball(u, size))`` in one search."""
+        if not 1 <= size <= self._n:
+            raise ValueError(f"size must be in [1, {self._n}], got {size}")
+        radius = self._strategy.size_radius(u, size)
+        return radius, [int(x) for x in self._strategy.size_ball(u, size)]
 
     def r_u(self, u: NodeId, j: int) -> float:
         """The paper's ``r_u(j)``: radius of the size-``2^j`` ball at u.
@@ -426,50 +627,43 @@ class GraphMetric:
         """Nearest candidate to ``u`` with least-id tie-breaking."""
         if len(candidates) == 0:
             raise ValueError("candidates must be non-empty")
-        d = self._dist[u]
-        best = min(candidates, key=lambda x: (d[x], x))
-        return int(best)
+        return self._strategy.nearest_among(u, candidates, tol=0.0)
+
+    def nearest_among(
+        self,
+        u: NodeId,
+        candidates: Sequence[NodeId],
+        tol: float = 0.0,
+        hint: Optional[float] = None,
+    ) -> NodeId:
+        """Least-id candidate within ``tol`` of the nearest one.
+
+        ``tol = 0`` is :meth:`nearest_in`; ``tol = DISTANCE_SLACK`` is
+        the slack-tolerant parent selection the net hierarchy uses.
+        ``hint`` bounds the first search radius on the lazy strategy
+        (e.g. the net-covering radius ``2^i``, which guarantees a
+        candidate within reach); the answer never depends on it.
+        """
+        if len(candidates) == 0:
+            raise ValueError("candidates must be non-empty")
+        return self._strategy.nearest_among(u, candidates, tol=tol, hint=hint)
 
     # ------------------------------------------------------------------
     # Shortest paths and next hops
     # ------------------------------------------------------------------
 
-    def _next_hops_from(self, u: NodeId) -> Dict[NodeId, NodeId]:
-        """First hop of the canonical shortest path from ``u`` to each v.
+    def next_hop(self, u: NodeId, v: NodeId) -> NodeId:
+        """Neighbour of ``u`` on the canonical shortest path to ``v``.
 
         Canonical paths are read off the Dijkstra predecessor tree of
         source ``u``, so they are exact (never distance-tolerance based)
-        and consistent: all paths from ``u`` form a tree.
+        and consistent: all paths from ``u`` form a tree.  First hops
+        are memoized per source in the same store as the distance rows
+        and invalidated together by :meth:`splice_rows`.
         """
-        hops = self._next_hop_cache.get(u)
-        if hops is not None:
-            return hops
-        hops = {}
-        pred = self._pred[u]
-        for v in self.nodes:
-            if v == u:
-                continue
-            if v in hops:
-                continue
-            # Walk v's predecessor chain back toward u; stop at u or at
-            # a node whose first hop is already known.  Everything on
-            # the chain shares that first hop.
-            chain = []
-            node = v
-            while node != u and node not in hops:
-                chain.append(node)
-                node = int(pred[node])
-            first = chain[-1] if node == u else hops[node]
-            for x in chain:
-                hops[x] = first
-        self._next_hop_cache[u] = hops
-        return hops
-
-    def next_hop(self, u: NodeId, v: NodeId) -> NodeId:
-        """Neighbour of ``u`` on the canonical shortest path to ``v``."""
         if u == v:
             return u
-        return self._next_hops_from(u)[v]
+        return self._strategy.next_hop(u, v)
 
     def shortest_path(self, u: NodeId, v: NodeId) -> List[NodeId]:
         """The canonical shortest path from ``u`` to ``v`` (inclusive)."""
@@ -488,14 +682,65 @@ class GraphMetric:
         """``B_u(r)`` as a frozenset (cached-friendly shape)."""
         return frozenset(self.ball(u, r))
 
-    def max_distance_to(self, u: NodeId, among: Iterable[NodeId]) -> float:
-        """``max_{x in among} d(u, x)``."""
-        d = self._dist[u]
-        return float(max(d[x] for x in among))
+    def max_distance_to(
+        self,
+        u: NodeId,
+        among: Iterable[NodeId],
+        hint: Optional[float] = None,
+    ) -> float:
+        """``max_{x in among} d(u, x)``.
+
+        ``hint`` (lazy strategy) bounds the first search radius when the
+        caller knows how far ``among`` can reach (e.g. a search tree's
+        member radius); the result never depends on it.
+        """
+        return self._strategy.max_distance_to(u, among, hint=hint)
+
+    # ------------------------------------------------------------------
+    # Persistence (pipeline disk cache)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the graph plus only *materialized* row state.
+
+        Dense strategies store their matrices; lazy strategies store
+        just the full rows currently in the LRU (partial searches and
+        derived views are recomputed on demand after unpickling).
+        """
+        return {
+            "graph": self._graph,
+            "n": self._n,
+            "normalize": self._normalize,
+            "scale": self._scale,
+            "diameter": self._diameter,
+            "diameter_exact": self._diameter_exact,
+            "row_budget": self._row_budget,
+            "strategy_kind": self._strategy.kind,
+            "strategy_state": self._strategy.state(),
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._graph = state["graph"]
+        self._n = state["n"]
+        self._normalize = state["normalize"]
+        self._scale = state["scale"]
+        self._diameter = state["diameter"]
+        self._diameter_exact = state["diameter_exact"]
+        self._row_budget = state["row_budget"]
+        if state["strategy_kind"] == "dense":
+            self._strategy = DenseStrategy.restore(
+                state["strategy_state"], self._n
+            )
+        else:
+            self._strategy = LazyStrategy.restore(
+                state["strategy_state"], self._csr(), self._n
+            )
 
     def __repr__(self) -> str:
+        diameter = self._diameter
+        shown = f"{diameter:.3f}" if diameter is not None else "?"
         return (
-            f"GraphMetric(n={self._n}, diameter={self._diameter:.3f}, "
+            f"GraphMetric(n={self._n}, diameter={shown}, "
             f"edges={self._graph.number_of_edges()})"
         )
 

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.types import NodeId, PreprocessingError
 from repro.metric.graph_metric import DISTANCE_SLACK, GraphMetric
 from repro.nets.rnet import greedy_rnet
@@ -80,12 +78,12 @@ class NetHierarchy:
         parents: List[Dict[NodeId, NodeId]] = [dict()]
         for i in range(1, self._top + 1):
             level_parent: Dict[NodeId, NodeId] = {}
-            targets = np.array(self._nets[i], dtype=int)
             for x in self._nets[i - 1]:
-                d = self._metric.distances_from(x)[targets]
-                best = d.min()
-                mask = d <= best + DISTANCE_SLACK
-                level_parent[x] = int(targets[mask].min())
+                # Y_i covers V at radius 2^i, so the nearest net point
+                # lies within 2^i of x — a tight first search limit.
+                level_parent[x] = self._metric.nearest_among(
+                    x, self._nets[i], tol=DISTANCE_SLACK, hint=float(2**i)
+                )
             parents.append(level_parent)
         return parents
 
@@ -201,17 +199,15 @@ class NetHierarchy:
         parents_reused = parents_built = 0
         for i in range(1, top + 1):
             level_parent: Dict[NodeId, NodeId] = {}
-            targets = np.array(nets[i], dtype=int)
             reusable_level = nets_same[i] and nets_same[i - 1]
             for x in nets[i - 1]:
                 if reusable_level and x not in dirty:
                     level_parent[x] = previous._parent[i][x]
                     parents_reused += 1
                 else:
-                    d = metric.distances_from(x)[targets]
-                    best = d.min()
-                    mask = d <= best + DISTANCE_SLACK
-                    level_parent[x] = int(targets[mask].min())
+                    level_parent[x] = metric.nearest_among(
+                        x, nets[i], tol=DISTANCE_SLACK, hint=float(2**i)
+                    )
                     parents_built += 1
             parents.append(level_parent)
 

@@ -49,15 +49,22 @@ def greedy_rnet(
         universe = list(metric.nodes)
     members: List[NodeId] = sorted(seed) if seed else []
 
-    # mindist[v] = distance from v to the current net.
+    # mindist[v] = distance from v to the current net.  Only distances
+    # below ~r ever matter to the accept test, so each member charges a
+    # radius-r ball instead of a full row: nodes beyond the ball keep
+    # mindist = inf (>= r - slack), and nodes inside get the exact same
+    # distance the full row would supply — decision-identical, but
+    # bounded work on the lazy substrate.
     mindist = np.full(metric.n, np.inf)
     for p in members:
-        np.minimum(mindist, metric.distances_from(p), out=mindist)
+        ids, d = metric.ball_with_distances(p, r)
+        mindist[ids] = np.minimum(mindist[ids], d)
 
     for v in sorted(universe):
         if mindist[v] >= r - DISTANCE_SLACK:
             members.append(v)
-            np.minimum(mindist, metric.distances_from(v), out=mindist)
+            ids, d = metric.ball_with_distances(v, r)
+            mindist[ids] = np.minimum(mindist[ids], d)
     return sorted(set(members))
 
 
@@ -73,14 +80,17 @@ def is_rnet(
     if universe is None:
         universe = metric.nodes
     net = list(net)
-    # Packing: pairwise distances >= r.
-    for i, u in enumerate(net):
-        d = metric.distances_from(u)
-        for v in net[i + 1:]:
-            if d[v] < r - DISTANCE_SLACK:
+    net_set = set(net)
+    # Packing: pairwise distances >= r.  A violating pair is closer
+    # than r, so it shows up inside a radius-r ball — no full rows.
+    for u in net:
+        ids, d = metric.ball_with_distances(u, r)
+        for x, dist in zip(ids, d):
+            if x != u and int(x) in net_set and dist < r - DISTANCE_SLACK:
                 return False
     # Covering: every universe point within r of the net.
     mindist = np.full(metric.n, np.inf)
     for p in net:
-        np.minimum(mindist, metric.distances_from(p), out=mindist)
+        ids, d = metric.ball_with_distances(p, r)
+        mindist[ids] = np.minimum(mindist[ids], d)
     return all(mindist[v] <= r + DISTANCE_SLACK for v in universe)

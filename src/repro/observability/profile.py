@@ -59,13 +59,18 @@ class BuildProfile:
     def total_build_seconds(self) -> float:
         return sum(self.build_seconds.values())
 
-    def report(self, stats=None) -> Dict[str, object]:
+    def report(self, stats=None, substrate=None) -> Dict[str, object]:
         """JSON-ready merge of timings and (optionally) hit counters.
 
         Args:
             stats: A :class:`~repro.pipeline.context.BuildStats`; when
                 given, each kind's row carries its hit/miss/disk-hit
                 counts next to the seconds spent building it.
+            substrate: Aggregated metric-substrate counters (see
+                ``BuildContext.substrate_stats``); when given, the
+                report carries a ``substrate`` section with rows
+                materialized and the row-store hit rate, so ``--profile``
+                shows how far a run stayed below full APSP.
         """
         kinds = set(self.build_seconds)
         kinds |= set(self.disk_load_seconds) | set(self.disk_store_seconds)
@@ -88,13 +93,23 @@ class BuildProfile:
                 row["misses"] = stats.misses.get(kind, 0)
                 row["disk_hits"] = stats.disk_hits.get(kind, 0)
             rows[kind] = row
-        return {
+        merged: Dict[str, object] = {
             "total_build_seconds": round(self.total_build_seconds(), 6),
             "kinds": rows,
         }
+        if substrate is not None:
+            section = dict(substrate)
+            lookups = section.get("row_hits", 0) + section.get("row_misses", 0)
+            section["row_store_hit_rate"] = (
+                round(section.get("row_hits", 0) / lookups, 4)
+                if lookups
+                else None
+            )
+            merged["substrate"] = section
+        return merged
 
-    def to_json(self, stats=None, indent: int = 2) -> str:
-        return json.dumps(self.report(stats), indent=indent)
+    def to_json(self, stats=None, substrate=None, indent: int = 2) -> str:
+        return json.dumps(self.report(stats, substrate=substrate), indent=indent)
 
 
 class _Timer:

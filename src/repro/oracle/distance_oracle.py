@@ -65,9 +65,9 @@ class DistanceOracle:
         for i in self._hierarchy.levels:
             radius = (2.0**i) / self._params.epsilon
             for x in self._hierarchy.net(i):
-                d = metric.distances_from(x)
-                for u in metric.ball(x, radius):
-                    self._labels[u].setdefault(i, {})[x] = float(d[u])
+                ids, d = metric.ball_with_distances(x, radius)
+                for u, du in zip(ids, d):
+                    self._labels[int(u)].setdefault(i, {})[x] = float(du)
 
     # ------------------------------------------------------------------
 

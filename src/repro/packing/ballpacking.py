@@ -110,14 +110,14 @@ class BallPacking:
         taken: set = set()
         packing: List[PackedBall] = []
         for c in candidates:
-            members = metric.size_ball(c, size)
+            radius, members = metric.size_ball_with_radius(c, size)
             if any(v in taken for v in members):
                 continue
             packing.append(
                 PackedBall(
                     center=c,
                     level=j,
-                    radius=metric.size_radius(c, size),
+                    radius=radius,
                     members=frozenset(members),
                 )
             )

@@ -50,7 +50,9 @@ from repro.pipeline.sampling import sample_ordered_pairs
 #: Bump when artifact layout changes so on-disk caches self-invalidate.
 #: v2: metric keys carry the normalization scale; schemes carry tracers.
 #: v3: XOR-aggregated content keys + dependency-tracked invalidation.
-CACHE_FORMAT_VERSION = 3
+#: v4: strategy-tagged metric cache keys; lazy metrics pickle only their
+#: materialized rows (partial search state is recomputed on demand).
+CACHE_FORMAT_VERSION = 4
 
 
 @dataclasses.dataclass
@@ -479,13 +481,35 @@ class BuildContext:
 
     # -- substrates -----------------------------------------------------
 
-    def metric(self, graph: nx.Graph, normalize: bool = True) -> GraphMetric:
-        """The APSP metric of ``graph``, built once per content hash."""
-        key = (graph_content_key(graph), normalize)
+    def metric(
+        self,
+        graph: nx.Graph,
+        normalize: bool = True,
+        strategy: str = "auto",
+        row_budget_bytes: Optional[int] = None,
+    ) -> GraphMetric:
+        """The shortest-path metric of ``graph``, built once per key.
+
+        ``strategy`` and ``row_budget_bytes`` select and configure the
+        substrate (see :class:`GraphMetric`) and are part of the cache
+        key: a dense and a lazy metric over the same graph are distinct
+        cached artifacts (a lazy pickle holds only materialized rows),
+        but both answer queries identically, so everything *downstream*
+        — hierarchies, packings, pairs, schemes — is keyed by
+        :meth:`metric_key` (content hash + scale) and shared freely
+        across strategies.
+        """
+        key = (graph_content_key(graph), normalize, strategy, row_budget_bytes)
 
         def build() -> GraphMetric:
-            built = GraphMetric(graph, normalize=normalize)
-            self.stats.fold({"metric_row": (0, built.n)})
+            built = GraphMetric(
+                graph,
+                normalize=normalize,
+                strategy=strategy,
+                row_budget_bytes=row_budget_bytes,
+            )
+            rows = int(built.substrate_stats()["rows_materialized"])
+            self.stats.fold({"metric_row": (0, rows)})
             return built
 
         metric = self._get_or_build("metric", key, build)
@@ -742,9 +766,32 @@ class BuildContext:
 
     # -- observability --------------------------------------------------
 
+    def substrate_stats(self) -> Dict[str, int]:
+        """Row-store counters summed over every live metric of this context.
+
+        Aggregates :meth:`GraphMetric.substrate_stats` across the
+        metrics this context has handed out (weakly tracked — collected
+        metrics drop out).  ``rows_materialized`` is the headline
+        number: how many full Dijkstra rows were ever solved, versus the
+        ``sum(n)`` an eager APSP would have paid.
+        """
+        totals = {
+            "rows_materialized": 0,
+            "row_hits": 0,
+            "row_misses": 0,
+            "bounded_searches": 0,
+            "evictions": 0,
+            "stored_bytes": 0,
+        }
+        for metric in list(self._metric_keys):
+            stats = metric.substrate_stats()
+            for key in totals:
+                totals[key] += int(stats[key])
+        return totals
+
     def profile_report(self) -> Dict[str, Any]:
         """Merged timing + hit/miss report (see ``BuildProfile.report``)."""
-        return self.profile.report(self.stats)
+        return self.profile.report(self.stats, substrate=self.substrate_stats())
 
     # -- maintenance ----------------------------------------------------
 

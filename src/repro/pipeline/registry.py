@@ -144,6 +144,12 @@ _SPECS = [
         "repro.experiments.chaos",
         funcs=("run", "run_degraded", "run_audit"),
     ),
+    ExperimentSpec(
+        "scale",
+        "lazy-substrate scaling and power-law degradation (E19)",
+        "repro.experiments.scale",
+        funcs=("run", "run_doubling"),
+    ),
 ]
 
 REGISTRY: Dict[str, ExperimentSpec] = {spec.name: spec for spec in _SPECS}

@@ -15,6 +15,7 @@ from repro.schemes.base import (
 )
 from repro.schemes.cowen_landmark import CowenLandmarkScheme
 from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+from repro.schemes.landmark_nameind import LandmarkNameIndependentScheme
 from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
 from repro.schemes.nameind_simple import SimpleNameIndependentScheme
 from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
@@ -23,6 +24,7 @@ from repro.schemes.shortest_path import ShortestPathScheme
 __all__ = [
     "CowenLandmarkScheme",
     "LabeledScheme",
+    "LandmarkNameIndependentScheme",
     "NameIndependentScheme",
     "NonScaleFreeLabeledScheme",
     "RoutingScheme",

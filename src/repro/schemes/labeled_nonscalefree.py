@@ -81,9 +81,9 @@ class NonScaleFreeLabeledScheme(LabeledScheme):
         it appears in.  Reads only the hierarchy and x's distance row,
         so the partition's dependency set is ``{x}``."""
         lo, hi = self._hierarchy.range_of(x, i)
-        d = self._metric.distances_from(x)
-        for u in self._metric.ball(x, radius):
-            self._rings[u].setdefault(i, {})[x] = (lo, hi, float(d[u]))
+        ids, d = self._metric.ball_with_distances(x, radius)
+        for u, du in zip(ids, d):
+            self._rings[int(u)].setdefault(i, {})[x] = (lo, hi, float(du))
 
     def _build_rings(self) -> None:
         blocks = 0

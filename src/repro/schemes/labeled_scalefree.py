@@ -129,13 +129,13 @@ class ScaleFreeLabeledScheme(LabeledScheme):
             users_set = set(users)
             for x in hierarchy.net(i):
                 lo, hi = hierarchy.range_of(x, i)
-                d = metric.distances_from(x)
-                for u in metric.ball(x, radius):
-                    if u in users_set:
-                        self._rings[u].setdefault(i, {})[x] = (
+                ids, d = metric.ball_with_distances(x, radius)
+                for u, du in zip(ids, d):
+                    if int(u) in users_set:
+                        self._rings[int(u)].setdefault(i, {})[x] = (
                             lo,
                             hi,
-                            float(d[u]),
+                            float(du),
                         )
 
     def _build_voronoi_layers(self) -> None:

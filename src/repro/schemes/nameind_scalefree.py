@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.bitcount import BitCounter, bits_for_count, bits_for_id
 from repro.core.params import SchemeParameters
 from repro.core.types import NodeId, RouteFailure, RouteResult
-from repro.metric.graph_metric import DISTANCE_SLACK, GraphMetric
+from repro.metric.graph_metric import GraphMetric
 from repro.nets.hierarchy import NetHierarchy
 from repro.packing.ballpacking import BallPacking
 from repro.schemes.base import NameIndependentScheme
@@ -145,7 +145,11 @@ class ScaleFreeNameIndependentScheme(NameIndependentScheme):
         ``B ⊆ B_u(outer_radius)`` and ``inner ⊆ B_c(r_c(j+2))``.
         """
         metric = self._metric
-        du = metric.distances_from(u)
+        # Every distance this search consults is compared against
+        # outer_radius, so u's radius-bounded ball is the whole story:
+        # anything outside it fails the serving condition.
+        ids, dists = metric.ball_with_distances(u, outer_radius)
+        du = {int(x): float(dx) for x, dx in zip(ids, dists)}
         inner_size = len(inner)
         for j in self._packing.levels:
             # inner ⊆ extended ball needs 2^{j+2} >= |inner|.
@@ -154,14 +158,11 @@ class ScaleFreeNameIndependentScheme(NameIndependentScheme):
             candidates = [
                 ball
                 for ball in self._packing.packing(j)
-                if du[ball.center] <= outer_radius + DISTANCE_SLACK
+                if ball.center in du
             ]
             candidates.sort(key=lambda b: (du[b.center], b.center))
             for ball in candidates:
-                if any(
-                    du[x] > outer_radius + DISTANCE_SLACK
-                    for x in ball.members
-                ):
+                if any(x not in du for x in ball.members):
                     continue
                 key = (j, ball.center)
                 extended = extended_cache.get(key)

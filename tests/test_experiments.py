@@ -271,3 +271,37 @@ class TestChaosExperiment:
             assert row[4] == 1.0      # detection rate
             assert row[6] == "yes"    # clean after healing
             assert row[7] > 0         # cold-identical pairs compared
+
+
+class TestScaleExperiment:
+    def test_trajectory_on_tiny_sizes(self):
+        from repro.experiments import scale
+
+        result = scale.run(pair_count=20, sizes=(48, 64))
+        assert len(result.rows) == 2 * 4  # two sizes x four families
+        for row in result.rows:
+            n, rows_materialized, stretch = row[1], row[3], row[5]
+            assert rows_materialized < n
+            assert stretch >= 1.0
+
+    def test_doubling_degradation_table(self):
+        from repro.experiments import scale
+
+        result = scale.run_doubling(pair_count=20, sizes=(48,))
+        by_key = {(r[0], r[2]): r for r in result.rows}
+        # The doubling scheme pays more bits on the power-law family
+        # than on the doubling one; the landmark scheme is
+        # family-agnostic at fixed n.
+        assert (
+            by_key[("pref-attach m=2", "Thm 1.4 (doubling)")][3]
+            > by_key[("geometric", "Thm 1.4 (doubling)")][3]
+        )
+        assert (
+            by_key[("pref-attach m=2", "landmark (KFY)")][3]
+            == by_key[("geometric", "landmark (KFY)")][3]
+        )
+
+    def test_registered_in_cli_registry(self):
+        from repro.pipeline.registry import REGISTRY
+
+        assert "scale" in REGISTRY

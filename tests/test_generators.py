@@ -12,7 +12,9 @@ from repro.graphs.generators import (
     grid_2d,
     grid_with_holes,
     hypercube,
+    internet_as_like,
     path_graph,
+    preferential_attachment,
     random_geometric,
     ring_graph,
     star_graph,
@@ -214,3 +216,120 @@ class TestUniformRandomWeights:
     def test_bad_range_rejected(self):
         with pytest.raises(ValueError):
             uniform_random_weights(grid_2d(3), low=2.0, high=1.0)
+
+
+def _tail_exponent(graph: nx.Graph, d_min: int = 4) -> float:
+    """Clauset-style MLE of the degree-distribution tail exponent."""
+    import math
+
+    tail = [d for _, d in graph.degree() if d >= d_min]
+    return 1.0 + len(tail) / sum(math.log(d / (d_min - 0.5)) for d in tail)
+
+
+class TestPreferentialAttachment:
+    def test_connected_and_canonical(self):
+        _assert_valid(preferential_attachment(200, m=2, seed=3))
+
+    def test_deterministic(self):
+        a = preferential_attachment(300, m=2, seed=5)
+        b = preferential_attachment(300, m=2, seed=5)
+        assert list(a.edges(data=True)) == list(b.edges(data=True))
+        c = preferential_attachment(300, m=2, seed=6)
+        assert list(a.edges()) != list(c.edges())
+
+    def test_degree_exponent_near_three(self):
+        # Barabasi-Albert tail exponent is 3 in the limit; the MLE on a
+        # finite sample should land well inside (2, 4.5).
+        graph = preferential_attachment(3000, m=2, seed=1)
+        assert 2.0 < _tail_exponent(graph) < 4.5
+
+    def test_heavy_tail_versus_geometric(self):
+        # Non-doubling signature: the hub degree dwarfs the median,
+        # unlike the geometric family at the same size.
+        pa = preferential_attachment(1000, m=2, seed=1)
+        geo = random_geometric(1000, seed=11)
+        pa_degrees = sorted(d for _, d in pa.degree())
+        geo_degrees = sorted(d for _, d in geo.degree())
+        assert pa_degrees[-1] > 10 * pa_degrees[len(pa_degrees) // 2]
+        assert geo_degrees[-1] <= 5 * geo_degrees[len(geo_degrees) // 2]
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(1)
+        with pytest.raises(ValueError):
+            preferential_attachment(10, m=0)
+        with pytest.raises(ValueError):
+            preferential_attachment(10, m=10)
+
+
+class TestInternetASLike:
+    def test_connected_and_canonical(self):
+        _assert_valid(internet_as_like(200, m=2, seed=3))
+
+    def test_deterministic(self):
+        a = internet_as_like(300, m=2, seed=5)
+        b = internet_as_like(300, m=2, seed=5)
+        assert list(a.edges(data=True)) == list(b.edges(data=True))
+
+    def test_hub_core_is_unit_weight_and_periphery_is_not(self):
+        graph = internet_as_like(400, m=2, seed=2)
+        weights = {d["weight"] for _, _, d in graph.edges(data=True)}
+        assert 1.0 in weights
+        assert any(w > 1.0 for w in weights)
+
+    def test_keeps_power_law_tail(self):
+        assert 2.0 < _tail_exponent(internet_as_like(3000, m=2, seed=1)) < 4.5
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            internet_as_like(3)
+
+
+class TestRandomGeometricBuckets:
+    def test_bucketed_matches_brute_force(self):
+        # The grid-bucketed neighbor search must reproduce the original
+        # all-pairs scan bit-for-bit (same edges, same order, same
+        # weights) — it is a pure speedup, not a new generator.
+        import itertools
+        import math
+        import random
+
+        for n, seed, dim in ((60, 2, 2), (80, 9, 3)):
+            rng = random.Random(seed)
+            points = [
+                tuple(rng.random() for _ in range(dim)) for _ in range(n)
+            ]
+            radius = 1.5 * (math.log(max(2, n)) / n) ** (1.0 / dim)
+            expected = []
+            for u, v in itertools.combinations(range(n), 2):
+                d = math.dist(points[u], points[v])
+                if d <= radius:
+                    expected.append((u, v, max(d, 1e-6)))
+            actual = random_geometric(n, seed=seed, dim=dim)
+            got = [
+                (u, v, d["weight"]) for u, v, d in actual.edges(data=True)
+            ]
+            # The generator repairs connectivity by adding extra edges;
+            # every brute-force edge must appear first, in order.
+            assert got[: len(expected)] == expected
+
+    def test_scales_to_ten_thousand(self):
+        graph = random_geometric(10_000, seed=11)
+        _assert_valid(graph)
+        assert graph.number_of_nodes() == 10_000
+
+
+class TestClusteredBackboneCap:
+    def test_max_weight_caps_backbone(self):
+        graph = clustered_backbone(2000, 5, max_weight=1e6)
+        _assert_valid(graph)
+        assert max(d["weight"] for _, _, d in graph.edges(data=True)) <= 1e6
+
+    def test_default_matches_uncapped(self):
+        a = clustered_backbone(6, 4)
+        b = clustered_backbone(6, 4, max_weight=None)
+        assert list(a.edges(data=True)) == list(b.edges(data=True))
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_backbone(4, 4, max_weight=0.5)

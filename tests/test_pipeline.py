@@ -290,3 +290,40 @@ def test_profile_report_shape(graph):
     report = context.profile_report()
     assert report["kinds"]["metric"]["misses"] == 1
     assert report["kinds"]["metric"]["build_seconds"] > 0.0
+
+
+def test_metric_strategies_are_distinct_cache_entries(graph):
+    context = BuildContext()
+    dense = context.metric(graph, strategy="dense")
+    lazy = context.metric(graph, strategy="lazy")
+    assert dense is not lazy
+    assert dense.strategy == "dense" and lazy.strategy == "lazy"
+    # Same key -> same object; strategy is part of the metric key only.
+    assert context.metric(graph, strategy="lazy") is lazy
+    # Downstream artifacts are keyed by (content, scale) and shared.
+    assert context.metric_key(dense) == context.metric_key(lazy)
+    assert context.hierarchy(dense) is context.hierarchy(lazy)
+
+
+def test_lazy_metric_disk_cache_stores_materialized_rows(tmp_path, graph):
+    cache_dir = str(tmp_path / "cache")
+    warm = BuildContext(cache_dir=cache_dir)
+    metric = warm.metric(graph, strategy="lazy")
+    metric.distances_from(0)
+    # Rebuild through a second context: the artifact was pickled at
+    # build time (zero materialized rows) and must answer identically.
+    cold = BuildContext(cache_dir=cache_dir)
+    loaded = cold.metric(graph, strategy="lazy")
+    assert cold.stats.disk_hits.get("metric") == 1
+    assert (loaded.distances_from(0) == metric.distances_from(0)).all()
+
+
+def test_profile_report_substrate_section(graph):
+    context = BuildContext()
+    metric = context.metric(graph, strategy="lazy")
+    metric.ball(0, 1.5)
+    report = context.profile_report()
+    section = report["substrate"]
+    assert section["bounded_searches"] >= 1
+    assert section["rows_materialized"] == 0
+    assert "row_store_hit_rate" in section

@@ -1,0 +1,419 @@
+"""Strategy-equivalence property suite: lazy must equal dense, bitwise.
+
+The substrate refactor (``repro.metric.substrate``) put two strategies
+behind the ``GraphMetric`` facade; the contract is that every query
+answers *byte-identically* on both — distances, balls, size-radii,
+next hops, digests, and the churn dirty-set machinery.  These tests hold
+that contract on every fixture family, plus exercise the lazy-only
+surfaces (row-store budget/eviction, partial-row reuse, copy-on-write
+mutation, double-sweep diameter bound, pickling of materialized rows).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.edits import EditKind, GraphEdit, apply_edit_to_graph
+from repro.graphs.generators import (
+    exponential_path,
+    grid_2d,
+    grid_with_holes,
+    random_geometric,
+)
+from repro.metric.graph_metric import DISTANCE_SLACK, GraphMetric
+from repro.metric.substrate import (
+    DENSE_NODE_LIMIT,
+    EXACT_DIAMETER_LIMIT,
+    RowStore,
+    _Row,
+)
+
+FAMILIES = {
+    "grid": lambda: grid_2d(6),
+    "holes": lambda: grid_with_holes(7, hole_fraction=0.25, seed=3),
+    "geometric": lambda: random_geometric(48, seed=2),
+    "exponential": lambda: exponential_path(14),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FAMILIES))
+def metric_pair(request):
+    graph = FAMILIES[request.param]()
+    dense = GraphMetric(graph, strategy="dense")
+    lazy = GraphMetric(graph.copy(), strategy="lazy")
+    return dense, lazy
+
+
+# ----------------------------------------------------------------------
+# Query-surface bit-identity
+# ----------------------------------------------------------------------
+
+
+def test_strategy_resolution():
+    grid = grid_2d(4)
+    assert GraphMetric(grid).strategy == "dense"  # auto, small n
+    assert GraphMetric(grid, strategy="lazy").strategy == "lazy"
+    assert 16 <= DENSE_NODE_LIMIT  # auto keeps every fixture dense
+    from repro.core.types import PreprocessingError
+
+    with pytest.raises(PreprocessingError):
+        GraphMetric(grid, strategy="bogus")
+
+
+def test_distances_rows_and_eccentricity_match(metric_pair):
+    dense, lazy = metric_pair
+    for u in dense.nodes:
+        assert np.array_equal(dense.distances_from(u), lazy.distances_from(u))
+        assert np.array_equal(
+            dense.predecessors_from(u), lazy.predecessors_from(u)
+        )
+        assert dense.eccentricity(u) == lazy.eccentricity(u)
+    rng = random.Random(7)
+    for _ in range(200):
+        u = rng.randrange(dense.n)
+        v = rng.randrange(dense.n)
+        assert dense.distance(u, v) == lazy.distance(u, v)
+
+
+def test_balls_match(metric_pair):
+    dense, lazy = metric_pair
+    rng = random.Random(11)
+    radii = [0.0, 1.0, dense.diameter / 3.0, dense.diameter, 2 * dense.diameter]
+    radii += [rng.uniform(0, dense.diameter) for _ in range(5)]
+    for u in dense.nodes:
+        for r in radii:
+            assert dense.ball(u, r) == lazy.ball(u, r)
+            assert dense.ball_size(u, r) == lazy.ball_size(u, r)
+            assert dense.ball_set(u, r) == lazy.ball_set(u, r)
+        ids_d, dist_d = dense.ball_with_distances(u, radii[2])
+        ids_l, dist_l = lazy.ball_with_distances(u, radii[2])
+        assert np.array_equal(ids_d, ids_l)
+        assert np.array_equal(dist_d, dist_l)
+
+
+def test_size_radii_match(metric_pair):
+    dense, lazy = metric_pair
+    for u in dense.nodes:
+        for size in range(1, dense.n + 1):
+            assert dense.size_radius(u, size) == lazy.size_radius(u, size)
+            assert dense.size_ball(u, size) == lazy.size_ball(u, size)
+        for j in range(dense.log_n + 1):
+            assert dense.r_u(u, j) == lazy.r_u(u, j)
+        r, members = lazy.size_ball_with_radius(u, max(1, dense.n // 2))
+        assert r == dense.size_radius(u, max(1, dense.n // 2))
+        assert members == dense.size_ball(u, max(1, dense.n // 2))
+    for bad in (0, dense.n + 1):
+        with pytest.raises(ValueError):
+            lazy.size_radius(0, bad)
+        with pytest.raises(ValueError):
+            lazy.size_ball(0, bad)
+
+
+def test_nearest_and_max_distance_match(metric_pair):
+    dense, lazy = metric_pair
+    rng = random.Random(13)
+    for _ in range(60):
+        u = rng.randrange(dense.n)
+        k = rng.randrange(1, dense.n)
+        cands = rng.sample(range(dense.n), k)
+        assert dense.nearest_in(u, cands) == lazy.nearest_in(u, cands)
+        for tol in (0.0, DISTANCE_SLACK, 1.0):
+            # A wrong hint must never change the answer, only the work.
+            hint = rng.choice([None, 0.5, dense.diameter])
+            assert dense.nearest_among(u, cands, tol=tol) == lazy.nearest_among(
+                u, cands, tol=tol, hint=hint
+            )
+        assert dense.max_distance_to(u, cands) == lazy.max_distance_to(
+            u, cands, hint=rng.choice([None, 1.0])
+        )
+    with pytest.raises(ValueError):
+        lazy.nearest_in(0, [])
+
+
+def test_next_hops_and_paths_match(metric_pair):
+    dense, lazy = metric_pair
+    for u in dense.nodes:
+        for v in dense.nodes:
+            assert dense.next_hop(u, v) == lazy.next_hop(u, v)
+    rng = random.Random(17)
+    for _ in range(40):
+        u = rng.randrange(dense.n)
+        v = rng.randrange(dense.n)
+        assert dense.shortest_path(u, v) == lazy.shortest_path(u, v)
+
+
+def test_digests_diameter_and_scalars_match(metric_pair):
+    dense, lazy = metric_pair
+    assert dense.diameter == lazy.diameter
+    assert lazy.diameter_is_exact
+    assert dense.log_diameter == lazy.log_diameter
+    assert dense.log_n == lazy.log_n
+    assert dense.scale == lazy.scale
+    for u in dense.nodes:
+        assert dense.row_digest(u) == lazy.row_digest(u)
+
+
+def test_lazy_stats_track_materialization(metric_pair):
+    dense, lazy = metric_pair
+    stats = lazy.substrate_stats()
+    assert stats["strategy"] == "lazy"
+    assert 0 < stats["rows_materialized"] <= dense.n
+    assert stats["stored_bytes"] > 0
+    dense_stats = dense.substrate_stats()
+    assert dense_stats["strategy"] == "dense"
+    assert dense_stats["rows_materialized"] == dense.n
+
+
+# ----------------------------------------------------------------------
+# Bounded searches really are bounded
+# ----------------------------------------------------------------------
+
+
+def test_small_balls_do_not_materialize_full_rows():
+    metric = GraphMetric(grid_2d(12), strategy="lazy")
+    for u in range(metric.n):
+        metric.ball(u, 1.0)
+        metric.size_radius(u, 4)
+    stats = metric.substrate_stats()
+    assert stats["rows_materialized"] == 0
+    assert stats["bounded_searches"] >= metric.n
+    # Partial entries answer within their limit without re-searching.
+    searches = stats["bounded_searches"]
+    metric.ball(0, 1.0)
+    assert metric.substrate_stats()["bounded_searches"] == searches
+
+
+def test_row_store_budget_evicts_but_answers_stay_exact():
+    graph = grid_2d(8)
+    dense = GraphMetric(graph, strategy="dense")
+    n = dense.n
+    # Budget fits only a couple of full rows (each row stores 4 arrays).
+    tiny = GraphMetric(graph.copy(), strategy="lazy", row_budget_bytes=4096)
+    assert tiny.row_budget_bytes == 4096
+    for u in range(n):
+        assert np.array_equal(dense.distances_from(u), tiny.distances_from(u))
+    stats = tiny.substrate_stats()
+    assert stats["evictions"] > 0
+    assert stats["stored_bytes"] <= 4096
+    # Evicted rows recompute identically.
+    assert np.array_equal(dense.distances_from(0), tiny.distances_from(0))
+    assert dense.ball(0, 3.0) == tiny.ball(0, 3.0)
+
+
+def test_row_store_admits_oversized_single_entry():
+    store = RowStore(budget_bytes=1)
+    dist = np.arange(64, dtype=float)
+    pred = np.arange(64, dtype=np.int32)
+    store.put(0, _Row(dist, pred, float("inf"), True))
+    assert store.get(0) is not None  # never livelocks on one huge row
+    store.put(1, _Row(dist.copy(), pred.copy(), float("inf"), True))
+    assert store.get(1) is not None
+    assert store.get(0) is None  # LRU victim
+    assert store.evictions == 1
+
+
+# ----------------------------------------------------------------------
+# Churn: updated() dirty sets and spliced rows
+# ----------------------------------------------------------------------
+
+
+def _random_edit(graph: nx.Graph, rng: random.Random) -> GraphEdit:
+    n = graph.number_of_nodes()
+    while True:
+        kind = rng.choice(
+            [EditKind.WEIGHT, EditKind.WEIGHT, EditKind.EDGE_ADD,
+             EditKind.EDGE_REMOVE]
+        )
+        if kind is EditKind.WEIGHT:
+            u, v = rng.choice(sorted(graph.edges()))
+            w = graph[u][v].get("weight", 1.0) * rng.uniform(0.6, 2.5)
+            return GraphEdit(kind=kind, edge=(u, v), weight=w)
+        if kind is EditKind.EDGE_ADD:
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u != v and not graph.has_edge(u, v):
+                return GraphEdit(
+                    kind=kind, edge=(u, v), weight=rng.uniform(1.0, 4.0)
+                )
+            continue
+        u, v = rng.choice(sorted(graph.edges()))
+        trial = graph.copy()
+        trial.remove_edge(u, v)
+        if nx.is_connected(trial):
+            return GraphEdit(kind=kind, edge=(u, v))
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_updated_matches_dense_and_cold(family):
+    graph = FAMILIES[family]()
+    dense = GraphMetric(graph.copy(), strategy="dense")
+    lazy = GraphMetric(graph.copy(), strategy="lazy")
+    rng = random.Random(hash(family) % (2**32))
+    # Warm the lazy store with a mix of partial and full rows so the
+    # dirty-set machinery must invalidate through real cached state.
+    for u in range(0, lazy.n, 3):
+        lazy.ball(u, 2.0)
+    for u in range(0, lazy.n, 5):
+        lazy.distances_from(u)
+        lazy.next_hop(u, (u + 1) % lazy.n)
+    for step in range(6):
+        edit = _random_edit(dense.graph, rng)
+        post_dense = dense.graph.copy()
+        post_lazy = lazy.graph.copy()
+        apply_edit_to_graph(post_dense, edit)
+        apply_edit_to_graph(post_lazy, edit)
+        dense, dirty_dense = dense.updated(post_dense, edit)
+        lazy, dirty_lazy = lazy.updated(post_lazy, edit)
+        assert dirty_dense == dirty_lazy
+        cold = GraphMetric(post_dense.copy(), strategy="dense")
+        assert np.array_equal(dense._dist, cold._dist)
+        assert np.array_equal(dense._pred, cold._pred)
+        for u in range(0, dense.n, 4):
+            assert np.array_equal(
+                cold.distances_from(u), lazy.distances_from(u)
+            )
+            assert cold.row_digest(u) == lazy.row_digest(u)
+        assert dense.diameter == lazy.diameter == cold.diameter
+
+
+def test_updated_carries_clean_lazy_rows_without_research():
+    graph = grid_2d(6)
+    metric = GraphMetric(graph.copy(), strategy="lazy")
+    far_corner = metric.n - 1
+    metric.distances_from(far_corner)
+    # Reweight an edge near node 0; the far corner's row may or may not
+    # change, but if it is clean it must be carried, not re-searched.
+    edit = GraphEdit(kind=EditKind.WEIGHT, edge=(0, 1), weight=5.0)
+    post = metric.graph.copy()
+    apply_edit_to_graph(post, edit)
+    new_metric, dirty = metric.updated(post, edit)
+    if far_corner not in dirty:
+        searches = new_metric.substrate_stats()["bounded_searches"]
+        new_metric.distances_from(far_corner)
+        assert new_metric.substrate_stats()["bounded_searches"] == searches
+
+
+def test_splice_rows_equivalent_across_strategies(metric_pair):
+    dense, lazy = metric_pair
+    dense = GraphMetric(dense.graph.copy(), strategy="dense")
+    lazy = GraphMetric(lazy.graph.copy(), strategy="lazy")
+    rows = [0, dense.n // 2, dense.n - 1]
+    dense.splice_rows(rows)
+    lazy.splice_rows(rows)
+    for u in rows:
+        assert np.array_equal(dense.distances_from(u), lazy.distances_from(u))
+        assert dense.row_digest(u) == lazy.row_digest(u)
+    from repro.core.types import PreprocessingError
+
+    with pytest.raises(PreprocessingError):
+        lazy.splice_rows([dense.n])
+
+
+# ----------------------------------------------------------------------
+# Mutation (chaos injector) surface
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["dense", "lazy"])
+def test_mutable_row_feeds_derived_caches(strategy):
+    metric = GraphMetric(grid_2d(5), strategy=strategy)
+    reference = GraphMetric(grid_2d(5), strategy="dense")
+    before = metric.row_digest(3)
+    dist_row, pred_row = metric.mutable_row(3)
+    dist_row[7] *= 10.0
+    metric.invalidate_derived(3)
+    assert metric.row_digest(3) != before
+    # Derived views must read the corrupted value, not a stale cache.
+    assert metric.distances_from(3)[7] == reference.distances_from(3)[7] * 10.0
+    assert 7 in metric.ball(3, reference.distances_from(3)[7] * 10.0)
+    metric.splice_rows([3])
+    assert metric.row_digest(3) == before
+
+
+def test_lazy_mutable_row_is_copy_on_write():
+    metric = GraphMetric(grid_2d(6), strategy="lazy")
+    for u in range(metric.n):
+        metric.distances_from(u)  # materialize, then snapshot via updated()
+    edit = GraphEdit(kind=EditKind.WEIGHT, edge=(0, 1), weight=3.0)
+    post = metric.graph.copy()
+    apply_edit_to_graph(post, edit)
+    snapshot, dirty = metric.updated(post, edit)
+    carried = sorted(set(metric.nodes) - dirty)
+    assert carried  # a local reweight cannot dirty every source
+    victim = carried[0]
+    before = metric.distances_from(victim).copy()
+    dist_row, _ = metric.mutable_row(victim)
+    dist_row[4] *= 7.0
+    metric.invalidate_derived(victim)
+    # The shared snapshot must not see the corruption.
+    assert np.array_equal(snapshot.distances_from(victim), before)
+
+
+# ----------------------------------------------------------------------
+# Diameter: exact fallback and double-sweep bound
+# ----------------------------------------------------------------------
+
+
+def test_lazy_diameter_exact_below_limit(metric_pair):
+    dense, lazy = metric_pair
+    assert lazy.n <= EXACT_DIAMETER_LIMIT
+    assert lazy.diameter == dense.diameter
+    assert lazy.diameter_is_exact
+
+
+def test_double_sweep_bound_on_large_graph(monkeypatch):
+    import repro.metric.substrate as substrate
+
+    # Force the bound path on a graph small enough to verify exactly.
+    monkeypatch.setattr(substrate, "EXACT_DIAMETER_LIMIT", 8)
+    graph = random_geometric(64, seed=5)
+    exact = GraphMetric(graph.copy(), strategy="dense").diameter
+    lazy = GraphMetric(graph.copy(), strategy="lazy")
+    assert not lazy.diameter_is_exact
+    assert exact / 2 - DISTANCE_SLACK <= lazy.diameter <= exact + DISTANCE_SLACK
+    # Trees: the double sweep is exact.
+    tree = nx.random_labeled_tree(64, seed=4)
+    nx.set_edge_attributes(tree, 1.0, "weight")
+    exact_tree = GraphMetric(tree.copy(), strategy="dense").diameter
+    lazy_tree = GraphMetric(tree.copy(), strategy="lazy")
+    assert lazy_tree.diameter == exact_tree
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["dense", "lazy"])
+def test_pickle_round_trip(strategy):
+    metric = GraphMetric(random_geometric(32, seed=9), strategy=strategy)
+    metric.distances_from(3)
+    metric.ball(5, 1.0)
+    clone = pickle.loads(pickle.dumps(metric))
+    assert clone.strategy == strategy
+    assert clone.n == metric.n
+    assert clone.scale == metric.scale
+    for u in range(metric.n):
+        assert np.array_equal(
+            clone.distances_from(u), metric.distances_from(u)
+        )
+        assert clone.row_digest(u) == metric.row_digest(u)
+    assert clone.diameter == metric.diameter
+
+
+def test_lazy_pickle_stores_only_materialized_rows():
+    metric = GraphMetric(random_geometric(40, seed=1), strategy="lazy")
+    metric.distances_from(0)
+    metric.distances_from(7)
+    for u in range(metric.n):
+        metric.ball(u, 0.5)  # partial entries: not persisted
+    clone = pickle.loads(pickle.dumps(metric))
+    assert clone.substrate_stats()["rows_materialized"] == 2
+    reference = GraphMetric(metric.graph.copy(), strategy="dense")
+    assert np.array_equal(clone.distances_from(7), reference.distances_from(7))
+    assert clone.ball(3, 0.5) == reference.ball(3, 0.5)
