@@ -1,0 +1,46 @@
+"""Shared CLI runner for the ``bench_*`` scripts.
+
+Every benchmark follows the same convention: run bare to *measure*
+(print a JSON payload, optionally committing it to a ``BENCH_*.json``
+file), or run with ``--check`` for the fast deterministic CI variant
+(invariants only, no wall-clock numbers committed).  This module is
+that convention, written once:
+
+    from _runner import run
+
+    def measure() -> dict: ...
+    def check() -> None: ...   # asserts; prints its own summary line
+
+    if __name__ == "__main__":
+        sys.exit(run(measure, check, output="BENCH_foo.json"))
+
+``output=None`` prints the payload without writing a file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Callable, Optional, Sequence
+
+
+def run(
+    measure: Callable[[], dict],
+    check: Callable[[], None],
+    output: Optional[str] = None,
+    argv: Optional[Sequence[str]] = None,
+) -> int:
+    """Dispatch the shared bench CLI; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if "--check" in argv:
+        check()
+        return 0
+    payload = measure()
+    text = json.dumps(payload, indent=2)
+    if output is not None:
+        with open(output, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    if output is not None:
+        print(f"wrote {output}", file=sys.stderr)
+    return 0

@@ -33,9 +33,10 @@ Pass ``--check`` for the CI variant, which asserts the invariants:
 
 from __future__ import annotations
 
-import json
 import random
 import sys
+
+from _runner import run as run_bench
 
 from repro.chaos import ChaosConfig, ChaosNetwork
 from repro.chaos.audit import (
@@ -245,12 +246,5 @@ def check() -> None:
     )
 
 
-def main() -> None:
-    if "--check" in sys.argv[1:]:
-        check()
-    else:
-        print(json.dumps(measure(), indent=2))
-
-
 if __name__ == "__main__":
-    main()
+    sys.exit(run_bench(measure, check))

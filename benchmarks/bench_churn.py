@@ -28,8 +28,9 @@ invariants, not wall-clock numbers.
 
 from __future__ import annotations
 
-import json
 import sys
+
+from _runner import run
 
 from repro.churn.driver import ChurnDriver
 from repro.churn.stream import EditStream
@@ -189,12 +190,5 @@ def check() -> None:
     print("bench_churn --check: all invariants hold")
 
 
-def main() -> None:
-    if "--check" in sys.argv[1:]:
-        check()
-    else:
-        print(json.dumps(measure(), indent=2))
-
-
 if __name__ == "__main__":
-    main()
+    sys.exit(run(measure, check))

@@ -23,10 +23,10 @@ means the gating broke).
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
+
+from _runner import run
 
 from repro.graphs.generators import grid_2d
 from repro.observability.trace import replay
@@ -94,17 +94,12 @@ def run_check() -> int:
     return 1 if failures else 0
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="fast CI guard only (replay correctness + overhead order)",
-    )
-    args = parser.parse_args()
-    if args.check:
-        return run_check()
+def check() -> None:
+    if run_check():
+        raise SystemExit(1)
 
+
+def measure() -> dict:
     context = BuildContext()
     metric = context.metric(grid_2d(8))
     pairs = context.pairs(metric, 300, seed=3)
@@ -125,9 +120,8 @@ def main() -> int:
     results["report_generate_pairs300_seconds"] = round(
         time.perf_counter() - start, 2
     )
-    print(json.dumps(results, indent=2))
-    return 0
+    return results
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run(measure, check))

@@ -25,9 +25,10 @@ printing JSON — used by CI.
 
 from __future__ import annotations
 
-import json
 import sys
 import time
+
+from _runner import run as run_bench
 
 from repro.core.params import SchemeParameters
 from repro.experiments.harness import standard_suite
@@ -105,14 +106,7 @@ def check(results) -> None:
     print("bench_resilience --check: all invariants hold")
 
 
-def main() -> None:
-    checking = "--check" in sys.argv[1:]
-    results = measure(pair_count=60 if checking else 300)
-    if checking:
-        check(results)
-    else:
-        print(json.dumps(results, indent=2))
-
-
 if __name__ == "__main__":
-    main()
+    sys.exit(
+        run_bench(measure, check=lambda: check(measure(pair_count=60)))
+    )

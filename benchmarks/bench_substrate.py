@@ -24,7 +24,6 @@ invariants only, no wall-clock assertions —
 
 from __future__ import annotations
 
-import json
 import resource
 import sys
 import time
@@ -32,6 +31,7 @@ import tracemalloc
 
 import numpy as np
 
+from _runner import run
 from repro.graphs.generators import preferential_attachment, random_geometric
 from repro.metric.graph_metric import GraphMetric
 from repro.pipeline.sampling import sample_ordered_pairs
@@ -86,6 +86,30 @@ def measure_point(n: int, strategy: str = "lazy") -> dict:
     }
 
 
+def landmark_sweep_row() -> dict:
+    """One committed row of the E19c landmark/vicinity sizing sweep.
+
+    The ``vicinity = 4·√n`` point at ``landmarks = √n`` — the cell that
+    shows stretch falling toward the Krioukov–Fall–Yang near-1 regime
+    once vicinities pass the hub scale (run ``python -m repro scale``
+    for the full sweep).
+    """
+    from repro.experiments.scale import run_landmark_sweep
+
+    table = run_landmark_sweep(
+        pair_count=200, vicinity_scale=(4.0,), landmarks=(16,)
+    )
+    row = {
+        column: value
+        for column, value in zip(table.columns, table.rows[0])
+    }
+    return {
+        "experiment": "E19c",
+        "graph": "preferential_attachment(256, m=2, seed=1)",
+        **row,
+    }
+
+
 def measure() -> dict:
     points = [measure_point(n) for n in SIZES]
     # Head-to-head at the smallest size, where dense is cheap.
@@ -97,6 +121,7 @@ def measure() -> dict:
         "graph_family": "preferential_attachment(m=2, seed=1)",
         "scheme": "LandmarkNameIndependentScheme",
         "pair_sample": PAIRS,
+        "landmark_sweep": landmark_sweep_row(),
         "trajectory": points,
         "head_to_head_n256": head_to_head,
         "note": (
@@ -158,17 +183,5 @@ def check() -> None:
     print("bench_substrate --check: all invariants hold")
 
 
-def main() -> None:
-    if "--check" in sys.argv[1:]:
-        check()
-    else:
-        payload = measure()
-        with open("BENCH_substrate.json", "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-        print(json.dumps(payload, indent=2))
-        print("wrote BENCH_substrate.json", file=sys.stderr)
-
-
 if __name__ == "__main__":
-    main()
+    sys.exit(run(measure, check, output="BENCH_substrate.json"))

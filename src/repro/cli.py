@@ -8,6 +8,9 @@ Usage::
     python -m repro resilience [--pairs 100] [--jobs 4] [--json]
     python -m repro chaos [--pairs 100] [--loss 0.05] [--jobs 4] [--json]
     python -m repro scale [--sizes 256,2048,10000] [--pairs 100] [--json]
+                          [--vicinity-scale 1,4,16] [--landmarks 8,16,32]
+    python -m repro throughput [--sizes 256,2048] [--batch-sizes 64,4096]
+                               [--shards 1,2,4] [--pairs 300] [--json]
     python -m repro report [--output EXPERIMENTS.md] [--jobs 4]
                            [--provenance]
     python -m repro trace grid-8x8 nameind-sf 0 63 [--epsilon 0.5] [--json]
@@ -44,6 +47,10 @@ def _context_from(args: argparse.Namespace) -> BuildContext:
     return BuildContext(cache_dir=getattr(args, "cache_dir", None))
 
 
+def _int_tuple(text: str) -> tuple:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
 def _emit_profile(args: argparse.Namespace, context: BuildContext) -> None:
     if getattr(args, "profile", False):
         print(json.dumps(context.profile_report(), indent=2), file=sys.stderr)
@@ -57,7 +64,15 @@ def _registry_command(name: str) -> Callable[[argparse.Namespace], None]:
         # not accept them.
         extra = {
             key: getattr(args, key)
-            for key in ("edits", "loss", "sizes")
+            for key in (
+                "edits",
+                "loss",
+                "sizes",
+                "batch_sizes",
+                "shards",
+                "vicinity_scale",
+                "landmarks",
+            )
             if getattr(args, key, None) is not None
         }
         tables = run_experiment(
@@ -203,17 +218,58 @@ def build_parser() -> argparse.ArgumentParser:
                     "(also sets the composed-regime channel loss)"
                 ),
             )
-        if name == "scale":
+        if name in ("scale", "throughput"):
             cmd.add_argument(
                 "--sizes",
-                type=lambda text: tuple(
-                    int(part) for part in text.split(",") if part
-                ),
+                type=_int_tuple,
                 default=None,
                 metavar="N,N,...",
                 help=(
                     "comma-separated graph sizes for the scaling study "
                     "(default 256,1024,2048; try 256,2048,10000)"
+                ),
+            )
+        if name == "scale":
+            cmd.add_argument(
+                "--vicinity-scale",
+                dest="vicinity_scale",
+                type=lambda text: tuple(
+                    float(part) for part in text.split(",") if part
+                ),
+                default=None,
+                metavar="X,X,...",
+                help=(
+                    "vicinity sizes for the landmark sweep, as "
+                    "multiples of sqrt(n) (default 1,4,16)"
+                ),
+            )
+            cmd.add_argument(
+                "--landmarks",
+                type=_int_tuple,
+                default=None,
+                metavar="K,K,...",
+                help=(
+                    "landmark counts for the landmark sweep "
+                    "(default sqrt(n)/2, sqrt(n), 2*sqrt(n))"
+                ),
+            )
+        if name == "throughput":
+            cmd.add_argument(
+                "--batch-sizes",
+                dest="batch_sizes",
+                type=_int_tuple,
+                default=None,
+                metavar="B,B,...",
+                help="engine batch sizes to sweep (default 64,512,4096)",
+            )
+            cmd.add_argument(
+                "--shards",
+                type=_int_tuple,
+                default=None,
+                metavar="S,S,...",
+                help=(
+                    "worker counts for the sharded serving sweep "
+                    "(default 1,2,4)"
                 ),
             )
         if name == "report":

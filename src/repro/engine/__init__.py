@@ -1,0 +1,40 @@
+"""``repro.engine`` — compiled batch routing over flat numpy tables.
+
+The schemes in :mod:`repro.schemes` are *front-end objects*: per-node
+tables held in python dicts, walked one packet at a time by the
+interpreted ``route()`` loops.  This subsystem is the compiled hot core
+behind them (the hwtHls split — see ROADMAP item 2):
+
+* :func:`compile_scheme` lowers a built scheme's tables into
+  :class:`CompiledTables` — flat numpy arrays (dense next-hop/distance
+  matrices, padded ring matrices, slot-packed search/Voronoi trees,
+  CSR-packed vicinity entries, sorted edge-weight keys);
+* :class:`BatchRouter` advances *all* live packets one transition per
+  sweep over those arrays (gather/argmax per sweep, no per-packet
+  python on the hot path), bit-identical to the interpreted loops;
+* :class:`ShardedRouter` serves batches across a process pool where
+  each worker owns a node-partition of the packet population and
+  packets migrate between shards via the pool-initializer scheme from
+  the resilience PR.
+
+Every compiled route is property-tested bit-identical (path, cost,
+legs, header bits, delivered target) to ``route()`` and to RouteTrace
+replay across every scheme and fixture — see ``tests/test_engine.py``.
+"""
+
+from repro.engine.batch import BatchRouter, EngineError
+from repro.engine.compiler import (
+    CompiledTables,
+    EngineUnsupported,
+    compile_scheme,
+)
+from repro.engine.shard import ShardedRouter
+
+__all__ = [
+    "BatchRouter",
+    "CompiledTables",
+    "EngineError",
+    "EngineUnsupported",
+    "ShardedRouter",
+    "compile_scheme",
+]

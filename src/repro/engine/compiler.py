@@ -1,0 +1,643 @@
+"""Table compiler: lower built schemes into flat numpy arrays.
+
+Each ``compile_*`` function reads one scheme's per-node python tables
+(dicts of ring entries, search trees, Voronoi trees, vicinity maps) and
+emits a :class:`CompiledTables` — a named bundle of numpy arrays the
+batch router can gather from without touching python objects.
+
+Layouts (see DESIGN.md, "engine" section, for the full picture):
+
+* **edge weights** — directed edges as a sorted int64 key array
+  ``EKEY = u*n + v`` with a parallel float64 ``EW`` (the exact
+  ``edge_weight`` values, including the normalization divide, computed
+  once at compile time so runtime additions are bit-identical);
+* **dense LUTs** — canonical next hops ``NH[n, n]`` and distances
+  ``D[n, n]`` for the doubling-metric schemes (which only exist at
+  small ``n``; :data:`DENSE_LIMIT` guards the allocation).  The
+  landmark scheme compiles *without* dense LUTs so the lazy substrate's
+  rows-materialized invariant survives compilation;
+* **ring matrices** — per-node ring entries padded to a rectangle, in
+  the exact iteration order of the interpreted scan (ascending level,
+  then dict insertion order); padding rows use ``lo=1 > hi=0`` so they
+  can never cover a label and first-match is a plain ``argmax``;
+* **search-tree slots** — every search tree flattened into one global
+  slot space: per slot its graph node, parent slot, padded
+  ``(child slot, range lo, range hi)`` entries in child order, and
+  padded ``(key, data)`` pairs;
+* **Voronoi tree slots** — every ``T_c(j)`` tree-router flattened the
+  same way with DFS ``tin/tout`` intervals per slot, plus a sorted
+  ``(tree, node) -> slot`` key table for phase entry;
+* **vicinity CSR** — the landmark scheme's per-node vicinity maps as a
+  single sorted int64 key array ``u*n + name`` with parallel target /
+  home / next-hop columns.
+
+All floating-point values are stored exactly as the interpreted tables
+hold them; the batch router replays the interpreted loops' *addition
+order* (see ``batch.py``), which together makes compiled costs
+bit-identical, not merely close.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import PreprocessingError
+
+#: Largest n for which the compiler will allocate dense n×n LUTs.  The
+#: doubling-metric schemes are only buildable far below this; the
+#: landmark scheme never requests dense tables.
+DENSE_LIMIT = 2048
+
+
+class EngineUnsupported(PreprocessingError):
+    """The scheme (or its size regime) has no compiled lowering."""
+
+
+@dataclasses.dataclass
+class CompiledTables:
+    """A scheme's routing tables, lowered to flat numpy arrays.
+
+    Attributes:
+        kind: Program selector for the batch router.
+        n: Node count.
+        header_bits: The scheme's (constant) header size.
+        leg_names: Result-leg dict keys in scheme insertion order
+            (empty for schemes whose results carry no legs).
+        arrays: All compiled arrays, keyed by layout name.
+        scalars: Compile-time constants (epsilon, level counts, guards).
+    """
+
+    kind: str
+    n: int
+    header_bits: int
+    leg_names: Tuple[str, ...]
+    arrays: Dict[str, np.ndarray]
+    scalars: Dict[str, float]
+
+    def nbytes(self) -> int:
+        return int(sum(a.nbytes for a in self.arrays.values()))
+
+
+# ----------------------------------------------------------------------
+# Shared builders
+# ----------------------------------------------------------------------
+
+
+def _edge_tables(metric) -> Dict[str, np.ndarray]:
+    """Sorted directed-edge keys and exact per-hop weights."""
+    n = metric.n
+    scale = metric.scale
+    keys: List[int] = []
+    weights: List[float] = []
+    for u, v, data in metric.graph.edges(data=True):
+        w = float(data.get("weight", 1.0)) / scale
+        keys.append(u * n + v)
+        weights.append(w)
+        keys.append(v * n + u)
+        weights.append(w)
+    order = np.argsort(np.asarray(keys, dtype=np.int64))
+    return {
+        "EKEY": np.asarray(keys, dtype=np.int64)[order],
+        "EW": np.asarray(weights, dtype=np.float64)[order],
+    }
+
+
+def _require_dense(metric) -> None:
+    if metric.n > DENSE_LIMIT:
+        raise EngineUnsupported(
+            f"dense LUT compilation capped at n={DENSE_LIMIT} "
+            f"(got n={metric.n}); only the landmark scheme compiles "
+            "without dense tables"
+        )
+
+
+def _dense_next_hops(metric) -> np.ndarray:
+    """Canonical next hops ``NH[u, v]`` (NH[u, u] = u)."""
+    _require_dense(metric)
+    n = metric.n
+    nh = np.empty((n, n), dtype=np.int64)
+    for u in metric.nodes:
+        nh[u] = [metric.next_hop(u, v) for v in range(n)]
+    return nh
+
+
+def _dense_distances(metric) -> np.ndarray:
+    _require_dense(metric)
+    return np.stack(
+        [
+            np.asarray(metric.distances_from(u), dtype=np.float64)
+            for u in metric.nodes
+        ]
+    )
+
+
+def _naming_tables(scheme) -> Dict[str, np.ndarray]:
+    n = scheme.metric.n
+    name_of = np.asarray(scheme._name_of, dtype=np.int64)
+    node_of = np.empty(n, dtype=np.int64)
+    node_of[name_of] = np.arange(n, dtype=np.int64)
+    return {"NAMEOF": name_of, "NODEOF": node_of}
+
+
+def _pack_rings(rings: List[Dict], n: int, prefix: str) -> Dict[str, np.ndarray]:
+    """Padded ring matrices in exact interpreted scan order.
+
+    ``rings[u][i]`` is a dict ``x -> (lo, hi, dist)``; the interpreted
+    scan iterates ``sorted(rings[u])`` then dict insertion order, so
+    rows are emitted in that order and first-match is argmax over the
+    cover mask.
+    """
+    rows: List[List[Tuple[int, int, int, int, float]]] = []
+    for u in range(n):
+        entries = []
+        for i in sorted(rings[u]):
+            for x, (lo, hi, dist) in rings[u][i].items():
+                entries.append((i, x, lo, hi, dist))
+        rows.append(entries)
+    width = max(1, max((len(r) for r in rows), default=1))
+    lo = np.ones((n, width), dtype=np.int64)
+    hi = np.zeros((n, width), dtype=np.int64)
+    xs = np.zeros((n, width), dtype=np.int64)
+    lvl = np.zeros((n, width), dtype=np.int64)
+    dist = np.zeros((n, width), dtype=np.float64)
+    for u, entries in enumerate(rows):
+        for col, (i, x, elo, ehi, edist) in enumerate(entries):
+            lvl[u, col] = i
+            xs[u, col] = x
+            lo[u, col] = elo
+            hi[u, col] = ehi
+            dist[u, col] = edist
+    return {
+        prefix + "LO": lo,
+        prefix + "HI": hi,
+        prefix + "X": xs,
+        prefix + "LVL": lvl,
+        prefix + "D": dist,
+    }
+
+
+class _SearchPack:
+    """Flatten many :class:`SearchTree` objects into one slot space."""
+
+    def __init__(self) -> None:
+        self.node: List[int] = []
+        self.parent: List[int] = []
+        self.children: List[List[Tuple[int, int, int]]] = []
+        self.keys: List[List[Tuple[int, int]]] = []
+        self.roots: List[int] = []
+
+    def add(self, tree) -> int:
+        slot_of: Dict[int, int] = {}
+        order = tree._dfs_preorder()
+        for v in order:
+            slot_of[v] = len(self.node)
+            self.node.append(v)
+            self.parent.append(-1)
+            self.children.append([])
+            self.keys.append(
+                sorted(
+                    (int(k), int(d))
+                    for k, d in tree._pairs_at.get(v, {}).items()
+                )
+            )
+        for v in order:
+            s = slot_of[v]
+            # The interpreted descend skips children without a stored
+            # subtree range; child order is otherwise preserved.
+            for child in tree._children.get(v, []):
+                bounds = tree._subtree_range.get(child)
+                if bounds is not None:
+                    self.children[s].append(
+                        (slot_of[child], int(bounds[0]), int(bounds[1]))
+                    )
+            parent = tree._parent.get(v)
+            if parent is not None:
+                self.parent[s] = slot_of[parent]
+        tid = len(self.roots)
+        self.roots.append(slot_of[tree.root])
+        return tid
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        slots = max(1, len(self.node))
+        width = max(1, max((len(c) for c in self.children), default=1))
+        kwidth = max(1, max((len(k) for k in self.keys), default=1))
+        ch_slot = np.zeros((slots, width), dtype=np.int64)
+        ch_lo = np.ones((slots, width), dtype=np.int64)
+        ch_hi = np.zeros((slots, width), dtype=np.int64)
+        k_key = np.full((slots, kwidth), -1, dtype=np.int64)
+        k_data = np.zeros((slots, kwidth), dtype=np.int64)
+        for s, kids in enumerate(self.children):
+            for col, (cs, lo, hi) in enumerate(kids):
+                ch_slot[s, col] = cs
+                ch_lo[s, col] = lo
+                ch_hi[s, col] = hi
+        for s, pairs in enumerate(self.keys):
+            for col, (k, d) in enumerate(pairs):
+                k_key[s, col] = k
+                k_data[s, col] = d
+        return {
+            "S_NODE": np.asarray(self.node or [0], dtype=np.int64),
+            "S_PARENT": np.asarray(self.parent or [-1], dtype=np.int64),
+            "S_CH_SLOT": ch_slot,
+            "S_CH_LO": ch_lo,
+            "S_CH_HI": ch_hi,
+            "S_K_KEY": k_key,
+            "S_K_DATA": k_data,
+            "S_ROOT": np.asarray(self.roots or [0], dtype=np.int64),
+        }
+
+
+class _TreeRouterPack:
+    """Flatten :class:`TreeRouter` instances (DFS-interval routing)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.node: List[int] = []
+        self.tin: List[int] = []
+        self.tout: List[int] = []
+        self.parent: List[int] = []
+        self.children: List[List[Tuple[int, int, int]]] = []
+        self.roots: List[int] = []
+        self.slot_keys: List[int] = []
+        self.slot_vals: List[int] = []
+
+    def add(self, router) -> int:
+        tid = len(self.roots)
+        tree = router.tree
+        slot_of: Dict[int, int] = {}
+        for v in sorted(router._tin):
+            slot_of[v] = len(self.node)
+            self.node.append(v)
+            self.tin.append(router._tin[v])
+            self.tout.append(router._tout[v])
+            self.parent.append(-1)
+            self.children.append([])
+            self.slot_keys.append(tid * self.n + v)
+            self.slot_vals.append(slot_of[v])
+        for v, s in slot_of.items():
+            if v != tree.root:
+                self.parent[s] = slot_of[tree.parent_of(v)]
+            # next_hop scans children_of(v) in order; keep it.
+            for child in tree.children_of(v):
+                self.children[s].append(
+                    (slot_of[child], router._tin[child], router._tout[child])
+                )
+        self.roots.append(slot_of[tree.root])
+        return tid
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        slots = max(1, len(self.node))
+        width = max(1, max((len(c) for c in self.children), default=1))
+        ch_slot = np.zeros((slots, width), dtype=np.int64)
+        ch_tin = np.ones((slots, width), dtype=np.int64)
+        ch_tout = np.zeros((slots, width), dtype=np.int64)
+        for s, kids in enumerate(self.children):
+            for col, (cs, tin, tout) in enumerate(kids):
+                ch_slot[s, col] = cs
+                ch_tin[s, col] = tin
+                ch_tout[s, col] = tout
+        order = np.argsort(np.asarray(self.slot_keys or [0], dtype=np.int64))
+        return {
+            "T_NODE": np.asarray(self.node or [0], dtype=np.int64),
+            "T_TIN": np.asarray(self.tin or [0], dtype=np.int64),
+            "T_TOUT": np.asarray(self.tout or [0], dtype=np.int64),
+            "T_PARENT": np.asarray(self.parent or [-1], dtype=np.int64),
+            "T_CH_SLOT": ch_slot,
+            "T_CH_TIN": ch_tin,
+            "T_CH_TOUT": ch_tout,
+            "T_ROOT": np.asarray(self.roots or [0], dtype=np.int64),
+            "T_SLOT_KEY": np.asarray(
+                self.slot_keys or [0], dtype=np.int64
+            )[order],
+            "T_SLOT_VAL": np.asarray(
+                self.slot_vals or [0], dtype=np.int64
+            )[order],
+        }
+
+
+def _hierarchy_tables(hierarchy, n: int) -> Dict[str, np.ndarray]:
+    lbl = np.asarray(
+        [hierarchy.label(v) for v in range(n)], dtype=np.int64
+    )
+    top = hierarchy.top_level
+    par = np.full((top + 1, n), -1, dtype=np.int64)
+    for i in range(1, top + 1):
+        for x in hierarchy.net(i - 1):
+            par[i, x] = hierarchy.parent(x, i)
+    return {"LBL": lbl, "PAR": par}
+
+
+# ----------------------------------------------------------------------
+# Per-scheme compilers
+# ----------------------------------------------------------------------
+
+
+def _compile_shortest_path(scheme) -> CompiledTables:
+    metric = scheme.metric
+    arrays = {
+        **_edge_tables(metric),
+        **_naming_tables(scheme),
+        "NH": _dense_next_hops(metric),
+    }
+    return CompiledTables(
+        kind="shortest_path",
+        n=metric.n,
+        header_bits=scheme.header_bits(),
+        leg_names=(),
+        arrays=arrays,
+        scalars={"max_sweeps": 4 * metric.n + 16},
+    )
+
+
+def _compile_cowen(scheme) -> CompiledTables:
+    metric = scheme.metric
+    n = metric.n
+    cluster_keys: List[int] = []
+    for u in metric.nodes:
+        for v in scheme._clusters[u]:
+            cluster_keys.append(u * n + v)
+    is_lm = np.zeros(n, dtype=bool)
+    is_lm[list(scheme._landmarks)] = True
+    arrays = {
+        **_edge_tables(metric),
+        "NH": _dense_next_hops(metric),
+        "HOME": np.asarray(scheme._home, dtype=np.int64),
+        "CL_KEY": np.sort(np.asarray(cluster_keys or [-1], dtype=np.int64)),
+        "IS_LM": is_lm,
+    }
+    return CompiledTables(
+        kind="cowen",
+        n=n,
+        header_bits=scheme.header_bits(),
+        leg_names=("direct", "to_landmark", "from_landmark"),
+        arrays=arrays,
+        scalars={"max_sweeps": 4 * n + 16},
+    )
+
+
+def _compile_lns_core(scheme) -> Dict[str, np.ndarray]:
+    """Ring walk tables shared by Lemma 3.1 and Theorem 1.4."""
+    metric = scheme.metric
+    return {
+        **_edge_tables(metric),
+        "NH": _dense_next_hops(metric),
+        **_pack_rings(scheme._rings, metric.n, "R_"),
+        **_hierarchy_tables(scheme._hierarchy, metric.n),
+    }
+
+
+def _compile_labeled_nonsf(scheme) -> CompiledTables:
+    metric = scheme.metric
+    return CompiledTables(
+        kind="labeled_nonsf",
+        n=metric.n,
+        header_bits=scheme.header_bits(),
+        leg_names=("walk",),
+        arrays=_compile_lns_core(scheme),
+        scalars={
+            "max_sweeps": 4
+            * metric.n
+            * (scheme._hierarchy.top_level + 2)
+            + 16,
+        },
+    )
+
+
+def _compile_nameind_simple(scheme) -> CompiledTables:
+    from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+
+    if not isinstance(scheme._underlying, NonScaleFreeLabeledScheme):
+        raise EngineUnsupported(
+            "nameind_simple compiles only over the Lemma 3.1 underlying"
+        )
+    metric = scheme.metric
+    n = metric.n
+    hierarchy = scheme._hierarchy
+    pack = _SearchPack()
+    levels = len(list(hierarchy.levels))
+    tree_of = np.full((levels, n), -1, dtype=np.int64)
+    for i in hierarchy.levels:
+        for x, tree in scheme._trees[i].items():
+            tree_of[i, x] = pack.add(tree)
+    arrays = {
+        **_compile_lns_core(scheme._underlying),
+        **_naming_tables(scheme),
+        **pack.arrays(),
+        "D": _dense_distances(metric),
+        "NS_TREE": tree_of,
+    }
+    return CompiledTables(
+        kind="nameind_simple",
+        n=n,
+        header_bits=scheme.header_bits(),
+        leg_names=("zoom", "search", "final"),
+        arrays=arrays,
+        scalars={
+            "top_level": hierarchy.top_level,
+            "max_sweeps": 16 * n * (hierarchy.top_level + 2) + 64,
+        },
+    )
+
+
+def _compile_lsf_core(scheme) -> Tuple[Dict[str, np.ndarray], Dict[str, float], "_SearchPack"]:
+    """Algorithm 5 tables (standalone and as the Theorem 1.1 inner machine).
+
+    Returns the array dict, scalar dict, and the *open* search pack so
+    the scale-free name-independent compiler can append its own trees
+    into the same slot space.
+    """
+    metric = scheme.metric
+    n = metric.n
+    log_n = metric.log_n
+    arrays = {
+        **_edge_tables(metric),
+        "NH": _dense_next_hops(metric),
+        "D": _dense_distances(metric),
+        **_pack_rings(scheme._rings, n, "R_"),
+        **_hierarchy_tables(scheme._hierarchy, n),
+    }
+    # r_u(u, j) columns with an +inf sentinel at j = log_n + 1 so the
+    # first-j scan of _size_level_for vectorizes as one argmax.
+    ru = np.empty((n, log_n + 2), dtype=np.float64)
+    for u in metric.nodes:
+        for j in range(log_n + 1):
+            ru[u, j] = metric.r_u(u, j)
+        ru[u, log_n + 1] = math.inf
+    arrays["RU"] = ru
+    arrays["VC"] = np.asarray(scheme._voronoi_center, dtype=np.int64)
+    tr_pack = _TreeRouterPack(n)
+    s_pack = _SearchPack()
+    tree_id = np.full((log_n + 1, n), -1, dtype=np.int64)
+    searcher_id = np.full((log_n + 1, n), -1, dtype=np.int64)
+    for j in range(log_n + 1):
+        for c, router in scheme._routers[j].items():
+            tree_id[j, c] = tr_pack.add(router)
+        for c, searcher in scheme._searchers[j].items():
+            searcher_id[j, c] = s_pack.add(searcher)
+    arrays.update(tr_pack.arrays())
+    arrays["TR_ID"] = tree_id
+    arrays["SR_ID"] = searcher_id
+    from repro.metric.graph_metric import DISTANCE_SLACK
+
+    scalars = {
+        "eps": float(scheme.params.epsilon),
+        "log_n": log_n,
+        "slack": float(DISTANCE_SLACK),
+        "max_sweeps": 16 * n * (scheme._hierarchy.top_level + 2) + 64,
+    }
+    return arrays, scalars, s_pack
+
+
+def _compile_labeled_sf(scheme) -> CompiledTables:
+    arrays, scalars, s_pack = _compile_lsf_core(scheme)
+    arrays.update(s_pack.arrays())
+    return CompiledTables(
+        kind="labeled_sf",
+        n=scheme.metric.n,
+        header_bits=scheme.header_bits(),
+        leg_names=("walk", "to_center", "search", "final"),
+        arrays=arrays,
+        scalars=scalars,
+    )
+
+
+def _compile_nameind_sf(scheme) -> CompiledTables:
+    from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+
+    if not isinstance(scheme._underlying, ScaleFreeLabeledScheme):
+        raise EngineUnsupported(
+            "nameind_sf compiles only over the Theorem 1.2 underlying"
+        )
+    metric = scheme.metric
+    n = metric.n
+    hierarchy = scheme._hierarchy
+    arrays, scalars, s_pack = _compile_lsf_core(scheme._underlying)
+    levels = hierarchy.top_level + 1
+    own = np.full((levels, n), -1, dtype=np.int64)
+    hlj = np.full((levels, n), -1, dtype=np.int64)
+    hlc = np.full((levels, n), -1, dtype=np.int64)
+    for (i, u), tree in scheme._own_trees.items():
+        own[i, u] = s_pack.add(tree)
+    packed_of: Dict[Tuple[int, int], int] = {}
+    for (j, c), tree in scheme._packed_trees.items():
+        packed_of[(j, c)] = s_pack.add(tree)
+    log_n = metric.log_n
+    packed_id = np.full((log_n + 1, n), -1, dtype=np.int64)
+    for (j, c), tid in packed_of.items():
+        packed_id[j, c] = tid
+    for (i, u), (j, c) in scheme._h_links.items():
+        hlj[i, u] = j
+        hlc[i, u] = c
+    arrays.update(s_pack.arrays())
+    arrays.update(_naming_tables(scheme))
+    arrays["NSF_OWN"] = own
+    arrays["NSF_HLJ"] = hlj
+    arrays["NSF_HLC"] = hlc
+    arrays["NSF_PACKED"] = packed_id
+    scalars = dict(scalars)
+    scalars["top_level"] = hierarchy.top_level
+    scalars["max_sweeps"] = 64 * n * (hierarchy.top_level + 2) + 64
+    return CompiledTables(
+        kind="nameind_sf",
+        n=n,
+        header_bits=scheme.header_bits(),
+        leg_names=("zoom", "search", "final"),
+        arrays=arrays,
+        scalars=scalars,
+    )
+
+
+def _compile_landmark(scheme) -> CompiledTables:
+    """The Internet-scale scheme: compiled purely from existing arrays.
+
+    No dense LUTs — the landmark/predecessor matrices and vicinity maps
+    the scheme already holds are the whole table set, so compilation
+    preserves the lazy substrate's rows-materialized ≪ n invariant.
+    """
+    metric = scheme.metric
+    n = metric.n
+    k = len(scheme._landmarks)
+    lm_index = np.full(n, -1, dtype=np.int64)
+    for i, landmark in enumerate(scheme._landmarks):
+        lm_index[landmark] = i
+    name_of = np.asarray(scheme._name_of, dtype=np.int64)
+    node_of = np.empty(n, dtype=np.int64)
+    node_of[name_of] = np.arange(n, dtype=np.int64)
+    # Directory rows, dense by name.
+    dir_node = np.empty(n, dtype=np.int64)
+    dir_home = np.empty(n, dtype=np.int64)
+    for idx in range(k):
+        for name, (node, home) in scheme._directory[idx].items():
+            dir_node[name] = node
+            dir_home[name] = home
+    landmarks = np.asarray(scheme._landmarks, dtype=np.int64)
+    names = np.arange(n, dtype=np.int64)
+    # Vicinity CSR: global sorted key u*n + name.
+    vic_keys: List[int] = []
+    vic_tgt: List[int] = []
+    vic_home: List[int] = []
+    vic_hop: List[int] = []
+    for u in metric.nodes:
+        for name in sorted(scheme._vicinity[u]):
+            v, home, hop, _ = scheme._vicinity[u][name]
+            vic_keys.append(u * n + name)
+            vic_tgt.append(v)
+            vic_home.append(home)
+            vic_hop.append(hop)
+    arrays = {
+        **_edge_tables(metric),
+        "NAMEOF": name_of,
+        "NODEOF": node_of,
+        "PRED": np.asarray(scheme._landmark_pred, dtype=np.int64),
+        "LM_INDEX": lm_index,
+        "DIR_LM": landmarks[names % k],
+        "DIR_ROW": names % k,
+        "DIR_NODE": dir_node,
+        "DIR_HOME": dir_home,
+        "VIC_KEY": np.asarray(vic_keys or [-1], dtype=np.int64),
+        "VIC_TGT": np.asarray(vic_tgt or [0], dtype=np.int64),
+        "VIC_HOME": np.asarray(vic_home or [0], dtype=np.int64),
+        "VIC_HOP": np.asarray(vic_hop or [0], dtype=np.int64),
+    }
+    return CompiledTables(
+        kind="landmark",
+        n=n,
+        header_bits=scheme.header_bits(),
+        leg_names=("vicinity", "to_directory", "to_home", "descent"),
+        arrays=arrays,
+        scalars={
+            "tree_depth": scheme._tree_depth,
+            "max_sweeps": 2 * (4 * n + 4 * scheme._tree_depth) + 64,
+        },
+    )
+
+
+def compile_scheme(scheme) -> CompiledTables:
+    """Lower ``scheme``'s tables into a :class:`CompiledTables`."""
+    from repro.schemes.cowen_landmark import CowenLandmarkScheme
+    from repro.schemes.labeled_nonscalefree import NonScaleFreeLabeledScheme
+    from repro.schemes.labeled_scalefree import ScaleFreeLabeledScheme
+    from repro.schemes.landmark_nameind import LandmarkNameIndependentScheme
+    from repro.schemes.nameind_scalefree import ScaleFreeNameIndependentScheme
+    from repro.schemes.nameind_simple import SimpleNameIndependentScheme
+    from repro.schemes.shortest_path import ShortestPathScheme
+
+    dispatch = [
+        (ShortestPathScheme, _compile_shortest_path),
+        (CowenLandmarkScheme, _compile_cowen),
+        (SimpleNameIndependentScheme, _compile_nameind_simple),
+        (ScaleFreeNameIndependentScheme, _compile_nameind_sf),
+        (ScaleFreeLabeledScheme, _compile_labeled_sf),
+        (NonScaleFreeLabeledScheme, _compile_labeled_nonsf),
+        (LandmarkNameIndependentScheme, _compile_landmark),
+    ]
+    for cls, compiler in dispatch:
+        if isinstance(scheme, cls):
+            return compiler(scheme)
+    raise EngineUnsupported(
+        f"no compiled lowering for {type(scheme).__qualname__}"
+    )

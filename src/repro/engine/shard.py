@@ -1,0 +1,164 @@
+"""Sharded serving mode: node-partitioned batch routing over processes.
+
+Each worker process receives the compiled tables **once**, through the
+pool initializer (the same scheme ``RoutingScheme.evaluate`` ships
+schemes with — see ``repro.pipeline.parallel``), and owns the logical
+node partition ``node % shards == shard_id``.  A packet is *owned* by
+the shard of its current node; a serving round dispatches every live
+packet to its owner, the owner advances it sweep by sweep until it
+completes or its current node crosses into another shard's partition,
+and the driver merges the returned register subsets and re-dispatches.
+Every live packet makes at least one transition per round, so rounds
+terminate exactly when a single-process sweep loop would.
+
+Tables are *replicated* per worker (the partition governs packet
+ownership and migration, not array slicing); slicing the compiled
+arrays down to each shard's partition is future work — see DESIGN.md.
+
+Results are bit-identical to :class:`~repro.engine.batch.BatchRouter`
+on the same pairs, in the same injection-index order: sharding changes
+where a sweep runs, never what it computes.  Path recording is not
+supported in sharded mode (the per-sweep trace lives in the workers).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.batch import _MACHINES, PH_DONE, EngineError
+from repro.engine.compiler import CompiledTables
+
+__all__ = ["ShardedRouter"]
+
+# Per-worker state, installed once by the pool initializer.
+_WORKER_TABLES: Optional[CompiledTables] = None
+_WORKER_SHARDS: int = 0
+
+
+def _init_shard_worker(tables: CompiledTables, shards: int) -> None:
+    """Pool initializer: receive the compiled tables once per worker."""
+    global _WORKER_TABLES, _WORKER_SHARDS
+    _WORKER_TABLES = tables
+    _WORKER_SHARDS = shards
+
+
+def _advance_shard(
+    item: Tuple[int, np.ndarray, Dict[str, np.ndarray]],
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Advance one shard's packets until each completes or emigrates.
+
+    Foreign packets (current node outside this shard's partition) are
+    parked by masking their phase to DONE for the sweep and restored
+    afterwards, so the sweep kernels never see them.
+    """
+    shard_id, idx, st = item
+    tables = _WORKER_TABLES
+    assert tables is not None, "shard worker initializer did not run"
+    shards = _WORKER_SHARDS
+    step = _MACHINES[tables.kind][1]
+    arrays = tables.arrays
+    max_sweeps = int(tables.scalars["max_sweeps"])
+    sweeps = 0
+    while True:
+        foreign = (st["phase"] != PH_DONE) & (
+            st["cur"] % shards != shard_id
+        )
+        parked = st["phase"][foreign]
+        st["phase"][foreign] = PH_DONE
+        if not (st["phase"] != PH_DONE).any():
+            st["phase"][foreign] = parked
+            return idx, st
+        if sweeps >= max_sweeps:
+            raise EngineError(
+                f"shard {shard_id} exceeded {max_sweeps} sweeps"
+            )
+        step(tables, arrays, st, st["phase"].copy())
+        st["phase"][foreign] = parked
+        sweeps += 1
+
+
+class ShardedRouter:
+    """Serve batches across a process pool of node-partition owners.
+
+    ``shards <= 1`` degrades to the in-process sweep loop (the serial
+    fallback convention of ``parallel_map``).  Use as a context manager
+    or call :meth:`close` to tear the pool down.
+    """
+
+    def __init__(self, tables: CompiledTables, shards: int = 2) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.tables = tables
+        self.shards = shards
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        if shards > 1:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=shards,
+                initializer=_init_shard_worker,
+                initargs=(tables, shards),
+            )
+        else:
+            _init_shard_worker(tables, 1)
+
+    def route_arrays(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> Dict[str, object]:
+        """Route pairs; identical output contract to ``BatchRouter``
+        (injection-index order), minus path recording."""
+        T = self.tables
+        src = np.ascontiguousarray(sources, dtype=np.int64)
+        tgt = np.ascontiguousarray(targets, dtype=np.int64)
+        if src.ndim != 1 or src.shape != tgt.shape:
+            raise ValueError("sources/targets must be equal-length 1-d")
+        st = _MACHINES[T.kind][0](T, src, tgt)
+        max_rounds = int(T.scalars["max_sweeps"])
+        rounds = 0
+        while True:
+            live = st["phase"] != PH_DONE
+            if not live.any():
+                break
+            if rounds >= max_rounds:
+                raise EngineError(
+                    f"{int(live.sum())} packets still live after "
+                    f"{rounds} serving rounds"
+                )
+            owner = st["cur"] % self.shards
+            items = []
+            for shard_id in range(self.shards):
+                idx = np.nonzero(live & (owner == shard_id))[0]
+                if idx.size:
+                    items.append(
+                        (shard_id, idx, {k: v[idx] for k, v in st.items()})
+                    )
+            if self._pool is not None:
+                outs = list(self._pool.map(_advance_shard, items))
+            else:
+                outs = [_advance_shard(item) for item in items]
+            for idx, sub in outs:
+                for key, values in sub.items():
+                    st[key][idx] = values
+            rounds += 1
+        width = len(T.leg_names)
+        out: Dict[str, object] = {
+            "target": st["res_target"].copy(),
+            "cost": st["res_cost"].copy(),
+            "legs": st["legs"][:, :width].copy() if width else None,
+            "rounds": rounds,
+        }
+        if "zerohop" in st:
+            out["zerohop"] = st["zerohop"].copy()
+        return out
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -23,6 +23,7 @@ from repro.experiments import table1, table2
 from repro.experiments import chaos as chaos_experiment
 from repro.experiments import churn as churn_experiment
 from repro.experiments import scale as scale_experiment
+from repro.experiments import throughput as throughput_experiment
 from repro.experiments.harness import ExperimentTable
 from repro.pipeline.context import BuildContext
 
@@ -367,6 +368,9 @@ def generate(
     e19b = scale_experiment.run_doubling(
         epsilon=0.5, pair_count=pair_count // 3, context=context
     )
+    e19c = scale_experiment.run_landmark_sweep(
+        pair_count=pair_count // 3, context=context
+    )
     sections.append(
         "## E19 — the Internet-scale regime on the lazy substrate "
         "(beyond the paper)\n\n"
@@ -389,6 +393,37 @@ def generate(
         "guarantee, and the exponential-weight backbone family shows\n"
         "the landmark scheme's unbounded worst case.  Build-time and\n"
         "peak-memory trajectories are recorded in BENCH_substrate.json.\n"
+        "The sizing sweep shows the Krioukov-Fall-Yang trade concretely:\n"
+        "growing vicinities past the sqrt(n) default buys mean stretch\n"
+        "toward 1 at linear table-bit cost:\n\n" + _block(e19c)
+    )
+
+    e20 = throughput_experiment.run(
+        pair_count=pair_count, context=context
+    )
+    e20b = throughput_experiment.run_shards(
+        pair_count=pair_count, context=context
+    )
+    sections.append(
+        "## E20 — compiled serving throughput (beyond the paper)\n\n"
+        "Every scheme's built tables lower to flat numpy arrays\n"
+        "(`RoutingScheme.compile_tables()`), and the batch engine\n"
+        "advances all live packets one hop per vectorized sweep with\n"
+        "output bit-identical to the interpreted `route()` loop —\n"
+        "path, cost, legs breakdown, and header bits, exact float\n"
+        "equality, property-tested over every scheme x fixture in\n"
+        "tests/test_engine.py.  Throughput on the E19 power-law\n"
+        "fixture (landmark scheme, lazy substrate):\n\n"
+        + _block(e20) + "\n" + _block(e20b) +
+        "\n**Reading:** the speedup is the python-per-hop overhead the\n"
+        "engine removes, so it grows with route length (and hence n);\n"
+        "the committed trajectory (BENCH_throughput.json) clears the\n"
+        "10x acceptance floor at n = 2048 with ~60x and reaches ~450x\n"
+        "at n = 10^4.  Sharded serving pays one process round-trip per\n"
+        "ownership migration, so it only wins once per-shard sweep work\n"
+        "dominates migration — at these sizes the in-process engine is\n"
+        "faster; the mode exists for serving-state partition, not\n"
+        "speed (DESIGN.md, engine section).\n"
     )
 
     if provenance:

@@ -621,6 +621,41 @@ class BuildContext:
             "scheme", key, build, previous=None if prev is None else prev[0]
         )
 
+    # -- compiled engine tables -----------------------------------------
+
+    def compiled(self, scheme: Any) -> Any:
+        """Batch-engine tables for a built scheme, memoized per content.
+
+        Keyed by the metric identity, scheme class, parameters, and a
+        digest of the scheme's instance-level identity (naming
+        permutation, landmark set) so two same-class schemes with
+        different namings never share compiled artifacts.  Lives under
+        the ``engine`` artifact kind of the v4 key scheme, so disk
+        caching and ``apply_edit`` invalidation come for free.
+        """
+        cls_name = (
+            f"{type(scheme).__module__}.{type(scheme).__qualname__}"
+        )
+        digest = hashlib.sha256()
+        name_of = getattr(scheme, "_name_of", None)
+        if name_of is not None:
+            digest.update(repr(list(name_of)).encode())
+        landmarks = getattr(scheme, "_landmarks", None)
+        if landmarks is not None:
+            digest.update(repr(sorted(landmarks)).encode())
+            vicinity = getattr(scheme, "_vicinity", None)
+            if vicinity is not None:
+                digest.update(
+                    repr([sorted(v) for v in vicinity]).encode()
+                )
+        key = (
+            self.metric_key(scheme.metric),
+            cls_name,
+            params_key(scheme.params),
+            digest.hexdigest(),
+        )
+        return self._get_or_build("engine", key, scheme.compile_tables)
+
     # -- incremental maintenance (churn) --------------------------------
 
     def apply_edit(self, graph: nx.Graph, edit: GraphEdit) -> EditReport:

@@ -148,7 +148,13 @@ _SPECS = [
         "scale",
         "lazy-substrate scaling and power-law degradation (E19)",
         "repro.experiments.scale",
-        funcs=("run", "run_doubling"),
+        funcs=("run", "run_doubling", "run_landmark_sweep"),
+    ),
+    ExperimentSpec(
+        "throughput",
+        "compiled batch engine routes/sec vs batch, shards, and n (E20)",
+        "repro.experiments.throughput",
+        funcs=("run", "run_shards"),
     ),
 ]
 

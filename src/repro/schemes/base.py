@@ -177,6 +177,22 @@ class RoutingScheme(abc.ABC):
         trace.header_bits = result.header_bits
         return result, trace
 
+    # -- compiled serving ----------------------------------------------
+
+    def compile_tables(self):
+        """Lower the built per-node tables for the batch engine.
+
+        Returns the :class:`~repro.engine.compiler.CompiledTables` the
+        vectorized :class:`~repro.engine.batch.BatchRouter` sweeps over;
+        every compiled route is bit-identical to :meth:`route`.  Raises
+        ``EngineUnsupported`` for schemes (or size regimes) without a
+        compiled lowering.  Cached per scheme via
+        ``BuildContext.compiled``.
+        """
+        from repro.engine import compile_scheme
+
+        return compile_scheme(self)
+
     # -- storage accounting --------------------------------------------
 
     @abc.abstractmethod

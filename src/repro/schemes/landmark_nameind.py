@@ -249,11 +249,23 @@ class LandmarkNameIndependentScheme(NameIndependentScheme):
         shortcuts_enabled = True
         guard = 4 * metric.n + 4 * self._tree_depth
 
+        tracer = self._tracer
+
         def step(nxt: NodeId, leg: str) -> NodeId:
-            legs[leg] += metric.edge_weight(current, nxt)
+            weight = metric.edge_weight(current, nxt)
+            legs[leg] += weight
             path.append(nxt)
             if len(path) > guard:  # pragma: no cover - defensive
                 raise RouteFailure("landmark walk failed to converge")
+            if tracer.enabled:
+                tracer.event(
+                    node=current,
+                    phase=leg,
+                    nodes=(nxt,),
+                    cost=weight,
+                    entry=f"{leg}[{name}] = {nxt}",
+                    header_after={"target_name": name},
+                )
             return nxt
 
         directory = self.directory_landmark(name)
