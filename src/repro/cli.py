@@ -268,8 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 metavar="S,S,...",
                 help=(
-                    "worker counts for the sharded serving sweep "
-                    "(default 1,2,4)"
+                    "worker counts for the partition-sliced "
+                    "shared-memory serving sweep (default 1,2,4)"
                 ),
             )
         if name == "report":

@@ -12,10 +12,12 @@ behind them (the hwtHls split — see ROADMAP item 2):
 * :class:`BatchRouter` advances *all* live packets one transition per
   sweep over those arrays (gather/argmax per sweep, no per-packet
   python on the hot path), bit-identical to the interpreted loops;
-* :class:`ShardedRouter` serves batches across a process pool where
-  each worker owns a node-partition of the packet population and
-  packets migrate between shards via the pool-initializer scheme from
-  the resilience PR.
+* :class:`ShardedRouter` serves batches across per-shard worker
+  processes pinned to partition slices of the compiled tables
+  (``CompiledTables.slice_partition``) held in named shared-memory
+  segments — shared arrays are mapped once for the whole service, and
+  packet registers live in a per-batch segment so serving rounds
+  exchange only index sets while packets migrate between owners.
 
 Every compiled route is property-tested bit-identical (path, cost,
 legs, header bits, delivered target) to ``route()`` and to RouteTrace
@@ -26,6 +28,7 @@ from repro.engine.batch import BatchRouter, EngineError
 from repro.engine.compiler import (
     CompiledTables,
     EngineUnsupported,
+    PartitionRows,
     compile_scheme,
 )
 from repro.engine.shard import ShardedRouter
@@ -35,6 +38,7 @@ __all__ = [
     "CompiledTables",
     "EngineError",
     "EngineUnsupported",
+    "PartitionRows",
     "ShardedRouter",
     "compile_scheme",
 ]

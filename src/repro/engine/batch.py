@@ -79,6 +79,21 @@ C_FINAL = 4
 # ----------------------------------------------------------------------
 
 
+def _validate_pairs(n: int, sources: Sequence[int], targets: Sequence[int]):
+    """Shared input contract of BatchRouter and ShardedRouter: int64
+    equal-length 1-d arrays with every node id inside ``[0, n)``."""
+    src = np.ascontiguousarray(sources, dtype=np.int64)
+    tgt = np.ascontiguousarray(targets, dtype=np.int64)
+    if src.ndim != 1 or src.shape != tgt.shape:
+        raise ValueError("sources/targets must be equal-length 1-d")
+    if src.size and (
+        src.min() < 0 or src.max() >= n
+        or tgt.min() < 0 or tgt.max() >= n
+    ):
+        raise ValueError("node id out of range")
+    return src, tgt
+
+
 def _lookup_sorted(keys: np.ndarray, q: np.ndarray):
     """(membership mask, position) of each ``q`` in sorted ``keys``."""
     pos = np.searchsorted(keys, q)
@@ -763,8 +778,12 @@ def _step_landmark(T, A, st, ph):
                 _lm_done(st, move[arrived2])
                 rest = move[~arrived2]
                 if rest.size:
+                    # Membership re-check at the *post-hop* node, which
+                    # may lie outside this partition's slice — use the
+                    # global key array when serving a slice.
+                    member = A.get("VIC_MEMBER_KEY", A["VIC_KEY"])
                     still, _ = _lookup_sorted(
-                        A["VIC_KEY"],
+                        member,
                         st["cur"][rest] * n + st["skey"][rest],
                     )
                     st["shortcut"][rest[~still]] = False
@@ -879,16 +898,8 @@ class BatchRouter:
         of node lists) when ``record_paths`` is set and ``zerohop``
         for the landmark kind.
         """
-        src = np.ascontiguousarray(sources, dtype=np.int64)
-        tgt = np.ascontiguousarray(targets, dtype=np.int64)
-        if src.ndim != 1 or src.shape != tgt.shape:
-            raise ValueError("sources/targets must be equal-length 1-d")
         T = self.tables
-        if src.size and (
-            src.min() < 0 or src.max() >= T.n
-            or tgt.min() < 0 or tgt.max() >= T.n
-        ):
-            raise ValueError("node id out of range")
+        src, tgt = _validate_pairs(T.n, sources, targets)
         A = T.arrays
         st = self._init(T, src, tgt)
         paths = [[int(s)] for s in src] if record_paths else None

@@ -1,63 +1,70 @@
-"""Sharded serving mode: node-partitioned batch routing over processes.
+"""Sharded serving mode: partition-sliced tables in shared memory.
 
-Each worker process receives the compiled tables **once**, through the
-pool initializer (the same scheme ``RoutingScheme.evaluate`` ships
-schemes with — see ``repro.pipeline.parallel``), and owns the logical
-node partition ``node % shards == shard_id``.  A packet is *owned* by
-the shard of its current node; a serving round dispatches every live
-packet to its owner, the owner advances it sweep by sweep until it
-completes or its current node crosses into another shard's partition,
-and the driver merges the returned register subsets and re-dispatches.
-Every live packet makes at least one transition per round, so rounds
-terminate exactly when a single-process sweep loop would.
+Each shard owns the logical node partition ``node % shards == shard_id``
+and is served by a dedicated single-worker process pool pinned to a
+**partition slice** of the compiled tables
+(``CompiledTables.slice_partition``): the arrays a shard's owned nodes
+index live in a per-shard ``multiprocessing.shared_memory`` segment
+only that worker maps, while the arrays every shard needs (search-tree
+slots, landmark predecessor rows, labels, directories) live in one
+shared segment mapped by all workers — one physical copy for the whole
+service, never replicated per worker.
 
-Tables are *replicated* per worker (the partition governs packet
-ownership and migration, not array slicing); slicing the compiled
-arrays down to each shard's partition is future work — see DESIGN.md.
+Packet registers are shared-memory too: ``route_arrays`` packs the
+machine state into a per-batch register segment, and a serving round
+sends each worker only the *index set* of the packets it owns.  The
+worker gathers those rows from the mapped registers, advances them
+sweep by sweep until each completes or its current node crosses into
+another shard's partition (foreign packets are parked by masking their
+phase to DONE for the sweep and restored afterwards), and scatters the
+rows back — no pickled register dicts in either direction.  Every live
+packet makes at least one transition per round, so rounds terminate
+exactly when a single-process sweep loop would.
 
 Results are bit-identical to :class:`~repro.engine.batch.BatchRouter`
 on the same pairs, in the same injection-index order: sharding changes
 where a sweep runs, never what it computes.  Path recording is not
 supported in sharded mode (the per-sweep trace lives in the workers).
+
+There is no module-global table state in the driver process: every
+router instance owns its pools and segments, so routers never alias
+each other's tables, and ``shards == 1`` degrades to an in-process
+sweep loop over ``self.tables``.  Use as a context manager or call
+:meth:`ShardedRouter.close`; a ``weakref`` finalizer tears down pools
+and unlinks segments if a router is dropped without closing.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Dict, Optional, Sequence, Tuple
+import weakref
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.batch import _MACHINES, PH_DONE, EngineError
+from repro.engine import shm as _shm
+from repro.engine.batch import (
+    _MACHINES,
+    PH_DONE,
+    EngineError,
+    _validate_pairs,
+)
 from repro.engine.compiler import CompiledTables
 
 __all__ = ["ShardedRouter"]
 
-# Per-worker state, installed once by the pool initializer.
-_WORKER_TABLES: Optional[CompiledTables] = None
-_WORKER_SHARDS: int = 0
 
-
-def _init_shard_worker(tables: CompiledTables, shards: int) -> None:
-    """Pool initializer: receive the compiled tables once per worker."""
-    global _WORKER_TABLES, _WORKER_SHARDS
-    _WORKER_TABLES = tables
-    _WORKER_SHARDS = shards
-
-
-def _advance_shard(
-    item: Tuple[int, np.ndarray, Dict[str, np.ndarray]],
-) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+def _advance_partition(
+    tables: CompiledTables, shards: int, shard_id: int, st: Dict[str, np.ndarray]
+) -> int:
     """Advance one shard's packets until each completes or emigrates.
 
-    Foreign packets (current node outside this shard's partition) are
-    parked by masking their phase to DONE for the sweep and restored
-    afterwards, so the sweep kernels never see them.
+    ``st`` holds only this shard's packet rows; foreign packets (current
+    node outside the partition) are parked by masking their phase to
+    DONE for the sweep and restored afterwards, so the sweep kernels —
+    and therefore the partition-sliced row gathers — never see them.
+    Returns the number of sweeps run.
     """
-    shard_id, idx, st = item
-    tables = _WORKER_TABLES
-    assert tables is not None, "shard worker initializer did not run"
-    shards = _WORKER_SHARDS
     step = _MACHINES[tables.kind][1]
     arrays = tables.arrays
     max_sweeps = int(tables.scalars["max_sweeps"])
@@ -70,7 +77,7 @@ def _advance_shard(
         st["phase"][foreign] = PH_DONE
         if not (st["phase"] != PH_DONE).any():
             st["phase"][foreign] = parked
-            return idx, st
+            return sweeps
         if sweeps >= max_sweeps:
             raise EngineError(
                 f"shard {shard_id} exceeded {max_sweeps} sweeps"
@@ -80,12 +87,129 @@ def _advance_shard(
         sweeps += 1
 
 
+# ----------------------------------------------------------------------
+# Worker side.  Each shard's pool has exactly one worker process, so
+# this state is per-shard by construction — it exists only inside that
+# worker and is installed by the pool initializer, never in the driver.
+# ----------------------------------------------------------------------
+
+_WORKER: Dict[str, object] = {}
+
+
+def _init_partition_worker(
+    shard_id: int,
+    shards: int,
+    kind: str,
+    n: int,
+    header_bits: int,
+    leg_names: Tuple[str, ...],
+    scalars: Dict[str, float],
+    shared_name: str,
+    shared_manifest: _shm.Manifest,
+    slice_name: str,
+    slice_manifest: _shm.Manifest,
+) -> None:
+    """Attach this worker to its table segments (no table pickling)."""
+    shared_seg = _shm.attach(shared_name)
+    slice_seg = _shm.attach(slice_name)
+    arrays = _shm.views(shared_seg, shared_manifest)
+    arrays.update(_shm.views(slice_seg, slice_manifest, shards=shards))
+    _WORKER["tables"] = CompiledTables(
+        kind=kind,
+        n=n,
+        header_bits=header_bits,
+        leg_names=leg_names,
+        arrays=arrays,
+        scalars=scalars,
+        partition=(shard_id, shards),
+        sliced=tuple(record[0] for record in slice_manifest),
+    )
+    _WORKER["shard_id"] = shard_id
+    _WORKER["shards"] = shards
+    _WORKER["segments"] = (shared_seg, slice_seg)
+    _WORKER["registers"] = None
+
+
+def _worker_ready() -> int:
+    """No-op probe: forces worker spawn + segment attach at pool
+    construction instead of inside the first serving round."""
+    if "shard_id" not in _WORKER:
+        raise EngineError("shard worker initializer did not run")
+    return int(_WORKER["shard_id"])  # type: ignore[arg-type]
+
+
+def _register_views(
+    name: str, manifest: _shm.Manifest
+) -> Dict[str, np.ndarray]:
+    """Mapped register arrays for the current batch, cached by segment
+    name (a new batch's segment evicts the previous mapping)."""
+    cached = _WORKER.get("registers")
+    if cached is not None and cached[0] == name:  # type: ignore[index]
+        return cached[2]  # type: ignore[index]
+    if cached is not None:
+        _, seg, old_views = cached  # type: ignore[misc]
+        _WORKER["registers"] = None
+        old_views.clear()
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - stray view refs
+            pass
+    seg = _shm.attach(name)
+    view_dict = _shm.views(seg, manifest)
+    _WORKER["registers"] = (name, seg, view_dict)
+    return view_dict
+
+
+def _serve_round(
+    reg_name: str, reg_manifest: _shm.Manifest, idx: np.ndarray
+) -> int:
+    """Advance the owned packets at ``idx`` in the mapped registers."""
+    tables = _WORKER.get("tables")
+    if tables is None:
+        raise EngineError("shard worker initializer did not run")
+    registers = _register_views(reg_name, reg_manifest)
+    st = {key: values[idx] for key, values in registers.items()}
+    sweeps = _advance_partition(
+        tables,  # type: ignore[arg-type]
+        _WORKER["shards"],  # type: ignore[arg-type]
+        _WORKER["shard_id"],  # type: ignore[arg-type]
+        st,
+    )
+    for key, values in st.items():
+        registers[key][idx] = values
+    return sweeps
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+
+def _teardown(
+    pools: List[concurrent.futures.ProcessPoolExecutor],
+    segments: List[object],
+) -> None:
+    """Shut down worker pools and release every named segment."""
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+    for seg in segments:
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - stray view refs
+            pass
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
 class ShardedRouter:
-    """Serve batches across a process pool of node-partition owners.
+    """Serve batches across per-shard workers over sliced shared tables.
 
     ``shards <= 1`` degrades to the in-process sweep loop (the serial
-    fallback convention of ``parallel_map``).  Use as a context manager
-    or call :meth:`close` to tear the pool down.
+    fallback convention of ``parallel_map``) over ``self.tables``.  Use
+    as a context manager or call :meth:`close` to tear the pool down;
+    an unreferenced router is torn down by its finalizer.
     """
 
     def __init__(self, tables: CompiledTables, shards: int = 2) -> None:
@@ -93,15 +217,78 @@ class ShardedRouter:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.tables = tables
         self.shards = shards
-        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pools: List[concurrent.futures.ProcessPoolExecutor] = []
+        self._segments: List[object] = []
+        self._slice_bytes: List[int] = [0]
+        self._shared_bytes = tables.nbytes()
         if shards > 1:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=shards,
-                initializer=_init_shard_worker,
-                initargs=(tables, shards),
+            slices = [
+                tables.slice_partition(shard, shards)
+                for shard in range(shards)
+            ]
+            self._slice_bytes = [sl.sliced_bytes() for sl in slices]
+            self._shared_bytes = slices[0].shared_bytes()
+            shared_arrays = {
+                key: arr
+                for key, arr in slices[0].arrays.items()
+                if key not in slices[0].sliced
+            }
+            shared_seg, shared_manifest = _shm.pack(shared_arrays)
+            self._segments.append(shared_seg)
+            for shard, sl in enumerate(slices):
+                slice_seg, slice_manifest = _shm.pack(
+                    {key: sl.arrays[key] for key in sl.sliced}
+                )
+                self._segments.append(slice_seg)
+                self._pools.append(
+                    concurrent.futures.ProcessPoolExecutor(
+                        max_workers=1,
+                        initializer=_init_partition_worker,
+                        initargs=(
+                            shard,
+                            shards,
+                            tables.kind,
+                            tables.n,
+                            tables.header_bits,
+                            tables.leg_names,
+                            tables.scalars,
+                            shared_seg.name,
+                            shared_manifest,
+                            slice_seg.name,
+                            slice_manifest,
+                        ),
+                    )
+                )
+            for pool in self._pools:
+                pool.submit(_worker_ready).result()
+        self._finalizer = weakref.finalize(
+            self, _teardown, list(self._pools), list(self._segments)
+        )
+
+    def partition_bytes(self) -> Dict[str, object]:
+        """Per-worker table residency: ``replicated`` is what the old
+        full-replication mode shipped to every worker; ``per_worker``
+        is what each worker maps now (its slice plus the shared
+        segment, which is one physical copy across all workers)."""
+        full = self.tables.nbytes()
+        return {
+            "replicated": full,
+            "shared": self._shared_bytes,
+            "sliced": list(self._slice_bytes),
+            "per_worker": [
+                self._shared_bytes + sliced
+                for sliced in self._slice_bytes
+            ],
+        }
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live shard workers (empty for ``shards == 1``)."""
+        pids: List[int] = []
+        for pool in self._pools:
+            pids.extend(
+                proc.pid for proc in pool._processes.values()
             )
-        else:
-            _init_shard_worker(tables, 1)
+        return pids
 
     def route_arrays(
         self, sources: Sequence[int], targets: Sequence[int]
@@ -109,39 +296,56 @@ class ShardedRouter:
         """Route pairs; identical output contract to ``BatchRouter``
         (injection-index order), minus path recording."""
         T = self.tables
-        src = np.ascontiguousarray(sources, dtype=np.int64)
-        tgt = np.ascontiguousarray(targets, dtype=np.int64)
-        if src.ndim != 1 or src.shape != tgt.shape:
-            raise ValueError("sources/targets must be equal-length 1-d")
+        src, tgt = _validate_pairs(T.n, sources, targets)
         st = _MACHINES[T.kind][0](T, src, tgt)
+        if not self._pools:
+            rounds = 0
+            if (st["phase"] != PH_DONE).any():
+                _advance_partition(T, 1, 0, st)
+                rounds = 1
+            return self._collect(st, rounds)
         max_rounds = int(T.scalars["max_sweeps"])
-        rounds = 0
-        while True:
-            live = st["phase"] != PH_DONE
-            if not live.any():
-                break
-            if rounds >= max_rounds:
-                raise EngineError(
-                    f"{int(live.sum())} packets still live after "
-                    f"{rounds} serving rounds"
-                )
-            owner = st["cur"] % self.shards
-            items = []
-            for shard_id in range(self.shards):
-                idx = np.nonzero(live & (owner == shard_id))[0]
-                if idx.size:
-                    items.append(
-                        (shard_id, idx, {k: v[idx] for k, v in st.items()})
+        reg_seg, manifest = _shm.pack(st)
+        registers = None
+        try:
+            registers = _shm.views(reg_seg, manifest)
+            rounds = 0
+            while True:
+                live = registers["phase"] != PH_DONE
+                if not live.any():
+                    break
+                if rounds >= max_rounds:
+                    raise EngineError(
+                        f"{int(live.sum())} packets still live after "
+                        f"{rounds} serving rounds"
                     )
-            if self._pool is not None:
-                outs = list(self._pool.map(_advance_shard, items))
-            else:
-                outs = [_advance_shard(item) for item in items]
-            for idx, sub in outs:
-                for key, values in sub.items():
-                    st[key][idx] = values
-            rounds += 1
-        width = len(T.leg_names)
+                owner = registers["cur"] % self.shards
+                futures = []
+                for shard in range(self.shards):
+                    idx = np.nonzero(live & (owner == shard))[0]
+                    if idx.size:
+                        futures.append(
+                            self._pools[shard].submit(
+                                _serve_round, reg_seg.name, manifest, idx
+                            )
+                        )
+                for future in futures:
+                    future.result()
+                rounds += 1
+            out = self._collect(registers, rounds)
+        finally:
+            registers = None
+            try:
+                reg_seg.close()
+            except BufferError:  # pragma: no cover - stray view refs
+                pass
+            reg_seg.unlink()
+        return out
+
+    def _collect(
+        self, st: Dict[str, np.ndarray], rounds: int
+    ) -> Dict[str, object]:
+        width = len(self.tables.leg_names)
         out: Dict[str, object] = {
             "target": st["res_target"].copy(),
             "cost": st["res_cost"].copy(),
@@ -153,9 +357,9 @@ class ShardedRouter:
         return out
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        self._finalizer()
+        self._pools = []
+        self._segments = []
 
     def __enter__(self) -> "ShardedRouter":
         return self

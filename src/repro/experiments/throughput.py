@@ -11,10 +11,13 @@ bit-identical to the interpreter (property-tested in
   against interpreted, on power-law (preferential-attachment) graphs
   over the lazy substrate — the Internet-like regime of E19, served by
   the landmark name-independent scheme.
-* ``run_shards`` — routes/second versus shard count for the
-  multi-process serving mode, where each worker owns the node
-  partition ``node % shards`` and packets migrate between workers as
-  they walk.
+* ``run_shards`` — routes/second and per-worker resident table bytes
+  versus shard count for the multi-process serving mode, where each
+  worker is pinned to a shared-memory partition slice of the compiled
+  tables (``CompiledTables.slice_partition``), owns the node partition
+  ``node % shards``, and packets migrate between workers as they walk;
+  registers live in a per-batch shared segment, so rounds exchange
+  only index sets.
 
 CLI: ``python -m repro throughput [--sizes 256,2048] [--batch-sizes
 64,512,4096] [--shards 1,2,4]``.  The committed trajectory (through
@@ -149,12 +152,15 @@ def run_shards(
     shards: Optional[Sequence[int]] = None,
     sizes: Optional[Sequence[int]] = None,
 ) -> ExperimentTable:
-    """Routes/second of the sharded serving mode versus shard count.
+    """Sharded serving throughput and per-worker table residency.
 
-    Workers are real processes; a serving round dispatches each live
-    packet to the owner of its current node and merges the advanced
-    registers back, so small batches are dominated by round-trip cost
-    and large ones amortize it.
+    Workers are real processes pinned to shared-memory partition
+    slices; a serving round sends each owner only the index set of its
+    live packets (registers are a mapped segment, not pickled dicts),
+    so round cost is submission latency, not register volume.  The
+    ``MB/worker`` column is what one worker maps — its slice plus the
+    shared segment, one physical copy service-wide — against the
+    ``replicated MB`` a per-worker table copy would cost.
     """
     if context is None:
         context = BuildContext()
@@ -170,18 +176,36 @@ def run_shards(
             start = time.perf_counter()
             out = router.route_arrays(src, tgt)
             elapsed = time.perf_counter() - start
+            resident = router.partition_bytes()
         rows.append(
-            [n, count, batch, int(batch / elapsed), int(out["rounds"])]
+            [
+                n,
+                count,
+                batch,
+                int(batch / elapsed),
+                int(out["rounds"]),
+                round(max(resident["per_worker"]) / 1e6, 3),
+                round(resident["replicated"] / 1e6, 3),
+            ]
         )
     return ExperimentTable(
-        title="E20b: sharded serving mode (node-partitioned workers)",
-        columns=["n", "shards", "batch", "routes/s", "rounds"],
+        title="E20b: sharded serving mode (partition-sliced workers)",
+        columns=[
+            "n",
+            "shards",
+            "batch",
+            "routes/s",
+            "rounds",
+            "MB/worker",
+            "replicated MB",
+        ],
         rows=rows,
         notes=[
-            "shards=1 is the in-process fallback; workers receive the"
-            " compiled tables once via the pool initializer and own the"
-            " partition node % shards",
-            "tables are replicated per worker; partition-sliced arrays"
-            " are future work (DESIGN.md)",
+            "shards=1 is the in-process fallback; workers attach to"
+            " shared-memory partition slices via the pool initializer"
+            " and own the partition node % shards",
+            "serving rounds exchange index sets over a shared register"
+            " segment — never pickled tables or register dicts"
+            " (DESIGN.md, engine section)",
         ],
     )
